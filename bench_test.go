@@ -1,0 +1,162 @@
+// Benchmarks: one per table and figure of the paper's evaluation (see
+// DESIGN.md's experiment index). Each benchmark drives the code path
+// that regenerates the corresponding artifact at a small, fixed scale,
+// so `go test -bench . -benchmem` exercises and times the whole
+// reproduction surface.
+//
+// Scales are deliberately small (benchmarks measure the machinery, not
+// the Internet); `cmd/atomrepro -scale` runs the full-size versions.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/longitudinal"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// benchConfig is the shared tiny-scale configuration.
+func benchConfig() longitudinal.Config {
+	cfg := longitudinal.DefaultConfig(7)
+	cfg.Scale = 0.004
+	return cfg
+}
+
+// runExperiment benches one experiment end to end.
+func runExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable1GeneralStats(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkTable2FormationDistance(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkTable3Stability(b *testing.B)          { runExperiment(b, "table3") }
+func BenchmarkTable4IPv6Stats(b *testing.B)          { runExperiment(b, "table4") }
+func BenchmarkTable5AbnormalPeers(b *testing.B)      { runExperiment(b, "table5") }
+func BenchmarkTable6Repro2002Stability(b *testing.B) { runExperiment(b, "table6") }
+func BenchmarkTable7Sensitivity(b *testing.B)        { runExperiment(b, "table7") }
+
+// --- Figures ---
+
+func BenchmarkFig1FormationMethods(b *testing.B)     { runExperiment(b, "fig1") }
+func BenchmarkFig2Distributions(b *testing.B)        { runExperiment(b, "fig2") }
+func BenchmarkFig3UpdateCorrelation(b *testing.B)    { runExperiment(b, "fig3") }
+func BenchmarkFig4FormationTrend(b *testing.B)       { runExperiment(b, "fig4") }
+func BenchmarkFig5StabilityTrend(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkFig6SplitObservers(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig7SplitBreakdown(b *testing.B)       { runExperiment(b, "fig7") }
+func BenchmarkFig8IPv6Distributions(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkFig9IPv6StabilityTrend(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10IPv6UpdateCorr(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11IPv6FormationTrend(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12FullFeedThreshold(b *testing.B)   { runExperiment(b, "fig12") }
+func BenchmarkFig13FullFeedPeers(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkFig14Repro2002Stats(b *testing.B)      { runExperiment(b, "fig14") }
+func BenchmarkFig15Repro2002UpdateCorr(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkFig16SplitBreakdownFull(b *testing.B)  { runExperiment(b, "fig16") }
+
+// Ablation experiments (DESIGN.md design choices).
+
+func BenchmarkAblationSanitize(b *testing.B)          { runExperiment(b, "ablation-sanitize") }
+func BenchmarkAblationFormationSampling(b *testing.B) { runExperiment(b, "ablation-sampling") }
+
+// --- Ablations and core micro-benchmarks (DESIGN.md design choices) ---
+
+// BenchmarkAtomComputation isolates the core contribution: grouping a
+// sanitized snapshot's route matrix into atoms.
+func BenchmarkAtomComputation(b *testing.B) {
+	r := longitudinal.NewEraRun(benchConfig(), topology.EraOf(2024, 4))
+	atoms, _, err := r.SnapshotAt(longitudinal.OffsetBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := atoms.Snap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeAtoms(snap)
+	}
+}
+
+// BenchmarkSnapshotBuildFastPath measures the in-memory snapshot path
+// (the ablation against the MRT wire round-trip below).
+func BenchmarkSnapshotBuildFastPath(b *testing.B) {
+	cfg := benchConfig()
+	cfg.FastPath = true
+	r := longitudinal.NewEraRun(cfg, topology.EraOf(2016, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.SnapshotAt(longitudinal.OffsetBase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotBuildWirePath measures the full MRT encode → parse →
+// sanitize round-trip (proven equivalent to the fast path).
+func BenchmarkSnapshotBuildWirePath(b *testing.B) {
+	cfg := benchConfig()
+	cfg.FastPath = false
+	r := longitudinal.NewEraRun(cfg, topology.EraOf(2016, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.SnapshotAt(longitudinal.OffsetBase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFormationMethodIII vs II: the paper's §3.4.2 method choice.
+func benchFormation(b *testing.B, method metrics.FormationMethod) {
+	r := longitudinal.NewEraRun(benchConfig(), topology.EraOf(2024, 4))
+	atoms, _, err := r.SnapshotAt(longitudinal.OffsetBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := metrics.DefaultFormationOptions()
+	opts.Method = method
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.FormationDistances(atoms, opts)
+	}
+}
+
+func BenchmarkFormationMethodIII(b *testing.B) { benchFormation(b, metrics.MethodUniqueCount) }
+func BenchmarkFormationMethodII(b *testing.B)  { benchFormation(b, metrics.MethodStripBeforeDistance) }
+func BenchmarkFormationMethodI(b *testing.B)   { benchFormation(b, metrics.MethodStripBeforeGrouping) }
+
+// BenchmarkStabilityCompare isolates CAM+MPM between two snapshots.
+func BenchmarkStabilityCompare(b *testing.B) {
+	r := longitudinal.NewEraRun(benchConfig(), topology.EraOf(2024, 4))
+	s1, _, err := r.SnapshotAt(longitudinal.OffsetBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, _, err := r.SnapshotAt(longitudinal.OffsetBase + longitudinal.Offset8h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.CompareStability(s1, s2)
+	}
+}

@@ -1,0 +1,129 @@
+// Command atomize computes policy atoms from MRT RIB archives (such as
+// those gensim writes, or any RFC 6396 TABLE_DUMP_V2 dump) and prints
+// the general statistics of Tables 1/4.
+//
+// Usage:
+//
+//	atomize [-family 4|6] [-afek2002] [-updates glob] data/*.rib.mrt
+//
+// The collector name for each archive is derived from the file name
+// (everything before the first dot). Update archives, when given, feed
+// the abnormal-peer detection (§A8.3) before atom computation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/bgpstream"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sanitize"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		family    = flag.Int("family", 4, "address family: 4 or 6")
+		afek      = flag.Bool("afek2002", false, "use Afek et al.'s 2002 methodology (all prefixes, no filters)")
+		updates   = flag.String("updates", "", "glob of update archives for abnormal-peer detection")
+		formation = flag.Bool("formation", false, "also print the formation-distance distribution")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: atomize [flags] <rib.mrt>...")
+		os.Exit(2)
+	}
+
+	sources := loadSources(flag.Args())
+	var warnings []bgpstream.Warning
+	if *updates != "" {
+		paths, err := filepath.Glob(*updates)
+		if err != nil {
+			fatal(err)
+		}
+		us := bgpstream.NewStream(nil, loadSources(paths)...)
+		if _, err := us.All(); err != nil {
+			fatal(err)
+		}
+		warnings = us.Warnings()
+	}
+
+	opts := sanitize.Defaults()
+	if *afek {
+		opts = sanitize.Afek2002()
+	}
+	opts.Family = *family
+	snap, rep, err := sanitize.Clean(sources, warnings, opts)
+	if err != nil {
+		fatal(err)
+	}
+	atoms := core.ComputeAtoms(snap)
+	st := atoms.Stats()
+
+	tbl := &textplot.Table{Title: "Policy atom statistics", Headers: []string{"Metric", "Value"}}
+	tbl.AddRow("Vantage points", fmt.Sprint(len(snap.VPs)))
+	tbl.AddRow("Full feeds", fmt.Sprint(rep.FullFeeds))
+	tbl.AddRow("Prefixes admitted", fmt.Sprintf("%d (of %d seen)", rep.PrefixesAdmitted, rep.PrefixesSeen))
+	tbl.AddRow("Prefixes", fmt.Sprint(st.Prefixes))
+	tbl.AddRow("ASes", fmt.Sprint(st.ASes))
+	tbl.AddRow("Atoms", fmt.Sprint(st.Atoms))
+	tbl.AddRow("Single-atom ASes", fmt.Sprintf("%d (%.1f%%)", st.SingleAtomASes, 100*float64(st.SingleAtomASes)/float64(max(1, st.ASes))))
+	tbl.AddRow("Single-prefix atoms", fmt.Sprintf("%d (%.1f%%)", st.SinglePrefixAtoms, 100*float64(st.SinglePrefixAtoms)/float64(max(1, st.Atoms))))
+	tbl.AddRow("Mean atom size", fmt.Sprintf("%.2f", st.MeanAtomSize))
+	tbl.AddRow("99th pct atom size", fmt.Sprint(st.P99AtomSize))
+	tbl.AddRow("Largest atom", fmt.Sprint(st.LargestAtom))
+	tbl.AddRow("MOAS prefixes", fmt.Sprintf("%d (%.2f%%)", st.MOASPrefixes, 100*float64(st.MOASPrefixes)/float64(max(1, st.Prefixes))))
+	tbl.Render(os.Stdout)
+
+	if len(rep.RemovedPeerASes) > 0 {
+		fmt.Println("\nRemoved abnormal peer ASes:")
+		for asn, reason := range rep.RemovedPeerASes {
+			fmt.Printf("  AS%-8d %s\n", asn, reason)
+		}
+	}
+	if *formation {
+		res := metrics.FormationDistances(atoms, metrics.DefaultFormationOptions())
+		ftbl := &textplot.Table{Title: "\nFormation distances", Headers: []string{"distance", "atoms", "share"}}
+		for d := 1; d < len(res.AtomsAtDistance); d++ {
+			if res.AtomsAtDistance[d] == 0 {
+				continue
+			}
+			ftbl.AddRow(fmt.Sprint(d), fmt.Sprint(res.AtomsAtDistance[d]),
+				textplot.Percent(float64(res.AtomsAtDistance[d])/float64(max(1, res.TotalAtoms))))
+		}
+		ftbl.Render(os.Stdout)
+	}
+}
+
+func loadSources(paths []string) []bgpstream.Source {
+	var out []bgpstream.Source
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		name := filepath.Base(p)
+		if i := strings.IndexByte(name, '.'); i > 0 {
+			name = name[:i]
+		}
+		out = append(out, bgpstream.BytesSource(name, data, bgp.Options{}))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command atomrepro regenerates the paper's tables and figures from the
+// simulated substrate.
+//
+// Usage:
+//
+//	atomrepro -list
+//	atomrepro -run table1,table3 -scale 0.02
+//	atomrepro -run all -scale 0.01 -seed 7
+//
+// Every run is deterministic in (-seed, -scale). Larger scales approach
+// the paper's absolute numbers at the cost of runtime; the default is
+// laptop-friendly and preserves every shape comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/longitudinal"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run   = flag.String("run", "all", "comma-separated experiment IDs, or all | tables | figures")
+		scale = flag.Float64("scale", 0.01, "world scale (1.0 = paper scale)")
+		seed  = flag.Uint64("seed", 7, "simulation seed")
+		slow  = flag.Bool("wire", false, "use the full MRT wire round-trip instead of the fast path")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := longitudinal.DefaultConfig(*seed)
+	cfg.Scale = *scale
+	cfg.FastPath = !*slow
+
+	var selected []experiments.Experiment
+	switch *run {
+	case "all":
+		selected = experiments.All()
+	case "tables", "figures":
+		for _, e := range experiments.All() {
+			if (*run == "tables") == strings.HasPrefix(e.ID, "table") {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

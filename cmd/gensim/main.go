@@ -1,0 +1,84 @@
+// Command gensim synthesizes MRT archives — TABLE_DUMP_V2 RIB dumps and
+// BGP4MP update streams — for one era of the simulated Internet, in the
+// same wire format RIPE RIS and RouteViews publish.
+//
+// Usage:
+//
+//	gensim -out ./data -year 2024 -quarter 4 -scale 0.01 -seed 7
+//
+// Writes one <collector>.rib.mrt and one <collector>.updates.mrt file
+// per simulated collector.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/collector"
+	"repro/internal/longitudinal"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "./data", "output directory")
+		year      = flag.Int("year", 2024, "snapshot year (2002-2024)")
+		quarter   = flag.Int("quarter", 1, "snapshot quarter (1-4)")
+		scale     = flag.Float64("scale", 0.01, "world scale (1.0 = paper scale)")
+		seed      = flag.Uint64("seed", 7, "simulation seed")
+		hours     = flag.Float64("update-hours", 4, "hours of updates after the snapshot")
+		artifacts = flag.Bool("artifacts", true, "inject the paper's data defects (ADD-PATH, AS65000, duplicates)")
+	)
+	flag.Parse()
+
+	era := topology.EraOf(*year, *quarter)
+	cfg := longitudinal.DefaultConfig(*seed)
+	cfg.Scale = *scale
+	cfg.Artifacts = *artifacts
+	r := longitudinal.NewEraRun(cfg, era)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	ts := collector.EpochOf(era)
+	ov := r.Model.OverlayAt(r.Graph, longitudinal.OffsetBase, r.Infra.FullFeedASNs())
+	snap := collector.BuildRIBs(r.Graph, r.Infra, ov, ts)
+	total := 0
+	for name, data := range snap.Archives {
+		path := filepath.Join(*out, name+".rib.mrt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		total += len(data)
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+
+	ucfg := collector.UpdateConfig{
+		Model:           r.Model,
+		FromT:           longitudinal.OffsetBase,
+		ToT:             longitudinal.OffsetBase + *hours/24,
+		BaseTime:        ts,
+		FullMessageProb: cfg.FullMessageProb.At(era),
+		FlapRate:        cfg.FlapRate.At(era),
+	}
+	updates := collector.BuildUpdates(r.Graph, r.Infra, ucfg)
+	for name, data := range updates {
+		path := filepath.Join(*out, name+".updates.mrt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		total += len(data)
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+	v4, v6 := r.Graph.TotalPrefixes()
+	fmt.Printf("era %v: %d ASes, %d v4 + %d v6 prefixes, %d collectors, %d full feeds, %d bytes total\n",
+		era, r.Graph.NumASes(), v4, v6, len(r.Infra.Collectors), len(r.Infra.FullFeedASNs()), total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gensim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Replication: A Two
+// Decade Review of Policy Atoms — Tracing the Evolution of AS Path
+// Sharing Prefixes" (Wu, Bischof, Testart, Dainotti; IMC 2025).
+//
+// A policy atom is a maximal group of prefixes that share the same AS
+// path at every BGP vantage point. The paper recomputes atoms over 20+
+// years of RIPE RIS / RouteViews data with a modernized sanitization
+// methodology and re-runs the four analyses of Afek et al. (2002):
+// general statistics, update-record correlation, formation distance,
+// and stability — for IPv4 and IPv6.
+//
+// This module rebuilds the entire measurement stack with the standard
+// library only: an MRT (RFC 6396/8050) codec, a BGP UPDATE (RFC
+// 4271/4760/6793/7911) codec, a BGPStream-like element layer, a
+// Gao-Rexford policy-routing simulator over a generated 2004–2024
+// Internet, a collector infrastructure with deliberate data defects,
+// the paper's §2.4 sanitization pipeline, atom computation, the four
+// analyses, and an experiment harness that regenerates every table and
+// figure. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+//
+// Start with:
+//
+//	go run ./examples/quickstart
+//	go run ./cmd/atomrepro -list
+package repro

@@ -1,0 +1,56 @@
+// Update correlation: do prefixes of one atom move together in BGP
+// UPDATE messages? Reproduces the §3.3 methodology over a day of
+// synthesized updates and prints Pr_full(k) for atoms versus ASes.
+//
+//	go run ./examples/updatecorr
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/longitudinal"
+	"repro/internal/metrics"
+	"repro/internal/textplot"
+	"repro/internal/topology"
+)
+
+func main() {
+	cfg := longitudinal.DefaultConfig(42)
+	cfg.Scale = 0.02
+
+	run := longitudinal.NewEraRun(cfg, topology.EraOf(2018, 1))
+	atoms, _, err := run.SnapshotAt(longitudinal.OffsetBase)
+	check(err)
+
+	// The paper's 4-hour update window after the snapshot: correlation
+	// is measured against the same instant the atoms were computed.
+	records, warnings, err := run.Updates(longitudinal.OffsetBase, longitudinal.OffsetBase+longitudinal.UpdateHours)
+	check(err)
+	fmt.Printf("collected %d update records (%d parse warnings from damaged feeds)\n",
+		len(records), len(warnings))
+
+	corr := metrics.CorrelateUpdates(atoms, records, 7)
+	tbl := &textplot.Table{
+		Title:   "Pr(entity seen in full | >=1 of its prefixes in the update)",
+		Headers: []string{"prefixes k", "atoms", "ASes", "multi-atom ASes", "single-prefix-atom ASes"},
+	}
+	for k := 2; k <= 7; k++ {
+		tbl.AddRow(fmt.Sprint(k),
+			textplot.Percent(corr.Atom[k].Pr()),
+			textplot.Percent(corr.AS[k].Pr()),
+			textplot.Percent(corr.ASMultiAtom[k].Pr()),
+			textplot.Percent(corr.ASSinglePrefixAtoms[k].Pr()))
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println("\nreading: the atom column sits above the AS column — prefixes move")
+	fmt.Println("at the atom level, not the AS level (the paper's core §4.2 finding);")
+	fmt.Println("ASes whose atoms are all single-prefix are almost never seen in full.")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

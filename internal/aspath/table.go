@@ -1,0 +1,103 @@
+package aspath
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// ID is an interned path identifier. ID 0 is reserved for the empty path
+// (a prefix not observed at a vantage point).
+type ID uint32
+
+// Empty is the ID of the empty path.
+const Empty ID = 0
+
+// Table interns AS-path sequences, mapping each distinct sequence to a
+// dense ID. It is the backbone of the snapshot model: per-prefix per-VP
+// routes are stored as IDs, and atom grouping hashes ID vectors instead
+// of path contents.
+//
+// A Table is safe for concurrent use.
+type Table struct {
+	mu   sync.RWMutex
+	ids  map[string]ID
+	seqs []Seq // index = ID; seqs[0] is nil (the empty path)
+}
+
+// NewTable returns an empty table containing only the empty path.
+func NewTable() *Table {
+	return &Table{
+		ids:  make(map[string]ID, 1024),
+		seqs: make([]Seq, 1, 1024),
+	}
+}
+
+// key encodes a sequence into a compact string key (big-endian uint32s).
+func key(s Seq) string {
+	buf := make([]byte, 4*len(s))
+	for i, a := range s {
+		binary.BigEndian.PutUint32(buf[4*i:], a)
+	}
+	return string(buf)
+}
+
+// Intern returns the ID for seq, allocating one if it is new. The empty
+// sequence always maps to Empty. The table stores its own copy; callers
+// may reuse seq's backing array.
+func (t *Table) Intern(seq Seq) ID {
+	if len(seq) == 0 {
+		return Empty
+	}
+	k := key(seq)
+	t.mu.RLock()
+	id, ok := t.ids[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok = t.ids[k]; ok {
+		return id
+	}
+	id = ID(len(t.seqs))
+	t.seqs = append(t.seqs, seq.Clone())
+	t.ids[k] = id
+	return id
+}
+
+// Lookup returns the ID for seq without interning, and false if the
+// sequence has not been interned.
+func (t *Table) Lookup(seq Seq) (ID, bool) {
+	if len(seq) == 0 {
+		return Empty, true
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[key(seq)]
+	return id, ok
+}
+
+// Seq returns the sequence for id. The returned slice is owned by the
+// table and must not be mutated. Seq(Empty) returns nil.
+func (t *Table) Seq(id ID) Seq {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) >= len(t.seqs) {
+		return nil
+	}
+	return t.seqs[id]
+}
+
+// Len returns the number of interned paths, including the empty path.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.seqs)
+}
+
+// Origin returns the origin AS of the path with the given id, and false
+// for the empty path or an unknown id.
+func (t *Table) Origin(id ID) (uint32, bool) {
+	return t.Seq(id).Origin()
+}

@@ -1,0 +1,210 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Capability codes (RFC 5492 registry, the subset relevant to collector
+// sessions).
+const (
+	CapMultiprotocol uint8 = 1  // RFC 4760
+	CapRouteRefresh  uint8 = 2  // RFC 2918
+	CapAS4           uint8 = 65 // RFC 6793
+	CapAddPath       uint8 = 69 // RFC 7911
+)
+
+// Capability is one OPEN capability TLV.
+type Capability struct {
+	Code uint8
+	Data []byte
+}
+
+// AS4Capability builds the 4-octet-AS capability.
+func AS4Capability(asn uint32) Capability {
+	return Capability{Code: CapAS4, Data: binary.BigEndian.AppendUint32(nil, asn)}
+}
+
+// AddPathCapability builds an ADD-PATH capability for one AFI/SAFI.
+// sendReceive: 1 = receive, 2 = send, 3 = both.
+func AddPathCapability(afi uint16, safi, sendReceive uint8) Capability {
+	data := binary.BigEndian.AppendUint16(nil, afi)
+	return Capability{Code: CapAddPath, Data: append(data, safi, sendReceive)}
+}
+
+// MultiprotocolCapability builds an MP-BGP capability for one AFI/SAFI.
+func MultiprotocolCapability(afi uint16, safi uint8) Capability {
+	data := binary.BigEndian.AppendUint16(nil, afi)
+	return Capability{Code: CapMultiprotocol, Data: append(data, 0, safi)}
+}
+
+// Open is a BGP OPEN message (RFC 4271 §4.2). Capabilities travel in
+// the standard optional parameter 2 (RFC 5492).
+type Open struct {
+	Version      uint8
+	ASN          uint16 // AS_TRANS for 4-octet speakers (the truth in CapAS4)
+	HoldTime     uint16
+	BGPID        netip.Addr
+	Capabilities []Capability
+}
+
+// Marshal encodes the OPEN into a full message.
+func (o *Open) Marshal() ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("%w: BGP identifier must be IPv4", ErrBadAttr)
+	}
+	var caps []byte
+	for _, c := range o.Capabilities {
+		if len(c.Data) > 255 {
+			return nil, fmt.Errorf("%w: capability %d data too long", ErrBadAttr, c.Code)
+		}
+		caps = append(caps, c.Code, byte(len(c.Data)))
+		caps = append(caps, c.Data...)
+	}
+	var params []byte
+	if len(caps) > 0 {
+		if len(caps) > 255 {
+			return nil, fmt.Errorf("%w: capabilities block too long", ErrBadAttr)
+		}
+		params = append(params, 2 /* capabilities */, byte(len(caps)))
+		params = append(params, caps...)
+	}
+	total := HeaderLen + 10 + len(params)
+	msg := make([]byte, HeaderLen, total)
+	putHeader(msg, MsgOpen, total)
+	version := o.Version
+	if version == 0 {
+		version = 4
+	}
+	msg = append(msg, version)
+	msg = binary.BigEndian.AppendUint16(msg, o.ASN)
+	msg = binary.BigEndian.AppendUint16(msg, o.HoldTime)
+	id := o.BGPID.As4()
+	msg = append(msg, id[:]...)
+	msg = append(msg, byte(len(params)))
+	return append(msg, params...), nil
+}
+
+// ParseOpen decodes a full OPEN message.
+func ParseOpen(b []byte) (*Open, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != MsgOpen {
+		return nil, fmt.Errorf("%w: got type %d, want OPEN", ErrBadType, h.Type)
+	}
+	body := b[HeaderLen:h.Len]
+	if len(body) < 10 {
+		return nil, fmt.Errorf("%w: OPEN body", ErrTruncated)
+	}
+	o := &Open{
+		Version:  body[0],
+		ASN:      binary.BigEndian.Uint16(body[1:3]),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	plen := int(body[9])
+	params := body[10:]
+	if len(params) < plen {
+		return nil, fmt.Errorf("%w: OPEN optional parameters", ErrTruncated)
+	}
+	params = params[:plen]
+	for len(params) > 0 {
+		if len(params) < 2 {
+			return nil, fmt.Errorf("%w: optional parameter header", ErrTruncated)
+		}
+		ptype, pl := params[0], int(params[1])
+		if len(params) < 2+pl {
+			return nil, fmt.Errorf("%w: optional parameter body", ErrTruncated)
+		}
+		data := params[2 : 2+pl]
+		params = params[2+pl:]
+		if ptype != 2 {
+			continue // non-capability parameters are obsolete; skip
+		}
+		for len(data) > 0 {
+			if len(data) < 2 {
+				return nil, fmt.Errorf("%w: capability header", ErrTruncated)
+			}
+			code, cl := data[0], int(data[1])
+			if len(data) < 2+cl {
+				return nil, fmt.Errorf("%w: capability body", ErrTruncated)
+			}
+			o.Capabilities = append(o.Capabilities, Capability{
+				Code: code, Data: append([]byte(nil), data[2:2+cl]...),
+			})
+			data = data[2+cl:]
+		}
+	}
+	return o, nil
+}
+
+// AS4 returns the 4-octet ASN from the AS4 capability, or (0, false).
+func (o *Open) AS4() (uint32, bool) {
+	for _, c := range o.Capabilities {
+		if c.Code == CapAS4 && len(c.Data) == 4 {
+			return binary.BigEndian.Uint32(c.Data), true
+		}
+	}
+	return 0, false
+}
+
+// AddPath reports whether the speaker offered ADD-PATH for the AFI/SAFI
+// in the given direction bits (1 receive, 2 send).
+func (o *Open) AddPath(afi uint16, safi uint8, direction uint8) bool {
+	for _, c := range o.Capabilities {
+		if c.Code != CapAddPath {
+			continue
+		}
+		for d := c.Data; len(d) >= 4; d = d[4:] {
+			if binary.BigEndian.Uint16(d) == afi && d[2] == safi && d[3]&direction != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Keepalive returns an encoded KEEPALIVE message.
+func Keepalive() []byte {
+	msg := make([]byte, HeaderLen)
+	putHeader(msg, MsgKeepalive, HeaderLen)
+	return msg
+}
+
+// Notification is a BGP NOTIFICATION message (RFC 4271 §4.5).
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Marshal encodes the NOTIFICATION into a full message.
+func (n *Notification) Marshal() ([]byte, error) {
+	total := HeaderLen + 2 + len(n.Data)
+	if total > MaxMsgLen {
+		return nil, fmt.Errorf("%w: notification size %d", ErrBadLength, total)
+	}
+	msg := make([]byte, HeaderLen, total)
+	putHeader(msg, MsgNotification, total)
+	msg = append(msg, n.Code, n.Subcode)
+	return append(msg, n.Data...), nil
+}
+
+// ParseNotification decodes a full NOTIFICATION message.
+func ParseNotification(b []byte) (*Notification, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != MsgNotification {
+		return nil, fmt.Errorf("%w: got type %d, want NOTIFICATION", ErrBadType, h.Type)
+	}
+	body := b[HeaderLen:h.Len]
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: NOTIFICATION body", ErrTruncated)
+	}
+	return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+}

@@ -1,0 +1,123 @@
+package bgp
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := &Open{
+		ASN:      AS_TRANS,
+		HoldTime: 180,
+		BGPID:    netip.MustParseAddr("192.0.2.1"),
+		Capabilities: []Capability{
+			MultiprotocolCapability(AFIIPv4, SAFIUnicast),
+			MultiprotocolCapability(AFIIPv6, SAFIUnicast),
+			AS4Capability(400000),
+			AddPathCapability(AFIIPv4, SAFIUnicast, 3),
+			{Code: CapRouteRefresh},
+		},
+	}
+	b, err := o.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseOpen(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 4 || got.ASN != AS_TRANS || got.HoldTime != 180 || got.BGPID != o.BGPID {
+		t.Errorf("open = %+v", got)
+	}
+	if len(got.Capabilities) != 5 {
+		t.Fatalf("capabilities = %d", len(got.Capabilities))
+	}
+	if asn, ok := got.AS4(); !ok || asn != 400000 {
+		t.Errorf("AS4 = %d,%v", asn, ok)
+	}
+	if !got.AddPath(AFIIPv4, SAFIUnicast, 1) || !got.AddPath(AFIIPv4, SAFIUnicast, 2) {
+		t.Error("ADD-PATH both directions expected")
+	}
+	if got.AddPath(AFIIPv6, SAFIUnicast, 1) {
+		t.Error("v6 ADD-PATH not offered")
+	}
+}
+
+func TestOpenNoCapabilities(t *testing.T) {
+	o := &Open{ASN: 65001, HoldTime: 90, BGPID: netip.MustParseAddr("10.0.0.1")}
+	b, err := o.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseOpen(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Capabilities) != 0 {
+		t.Errorf("capabilities = %v", got.Capabilities)
+	}
+	if _, ok := got.AS4(); ok {
+		t.Error("phantom AS4 capability")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	bad := &Open{BGPID: netip.MustParseAddr("2001:db8::1")}
+	if _, err := bad.Marshal(); err == nil {
+		t.Error("v6 BGP ID accepted")
+	}
+	big := &Open{BGPID: netip.MustParseAddr("10.0.0.1"),
+		Capabilities: []Capability{{Code: 1, Data: make([]byte, 300)}}}
+	if _, err := big.Marshal(); err == nil {
+		t.Error("oversized capability accepted")
+	}
+	// Wrong type.
+	if _, err := ParseOpen(Keepalive()); !errors.Is(err, ErrBadType) {
+		t.Errorf("keepalive as open: %v", err)
+	}
+	// Truncated bodies.
+	o := &Open{ASN: 1, BGPID: netip.MustParseAddr("10.0.0.1"),
+		Capabilities: []Capability{AS4Capability(99)}}
+	b, _ := o.Marshal()
+	for cut := HeaderLen + 1; cut < len(b); cut++ {
+		trimmed := append([]byte(nil), b[:cut]...)
+		putHeader(trimmed, MsgOpen, cut)
+		if _, err := ParseOpen(trimmed); err == nil {
+			t.Errorf("cut at %d parsed", cut)
+		}
+	}
+}
+
+func TestKeepalive(t *testing.T) {
+	b := Keepalive()
+	h, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != MsgKeepalive || int(h.Len) != HeaderLen {
+		t.Errorf("keepalive header = %+v", h)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := &Notification{Code: 6, Subcode: 2, Data: []byte("shutdown")}
+	b, err := n.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseNotification(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != 6 || got.Subcode != 2 || string(got.Data) != "shutdown" {
+		t.Errorf("notification = %+v", got)
+	}
+	if _, err := ParseNotification(Keepalive()); !errors.Is(err, ErrBadType) {
+		t.Errorf("wrong type: %v", err)
+	}
+	huge := &Notification{Data: make([]byte, MaxMsgLen)}
+	if _, err := huge.Marshal(); !errors.Is(err, ErrBadLength) {
+		t.Errorf("oversize: %v", err)
+	}
+}

@@ -1,0 +1,281 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/aspath"
+)
+
+// Update is a decoded BGP UPDATE message. Withdrawn and Announced hold
+// the top-level IPv4 fields; IPv6 reachability travels inside MPReach /
+// MPUnreach attributes, which the Reachable/Unreachable helpers merge.
+type Update struct {
+	Withdrawn []NLRI
+	Attrs     []Attr
+	Announced []NLRI
+}
+
+// Attr returns the first attribute of the given type, or nil.
+func (u *Update) Attr(t AttrType) Attr {
+	for _, a := range u.Attrs {
+		if a.Type() == t {
+			return a
+		}
+	}
+	return nil
+}
+
+// ASPathAttr returns the effective AS path, reconciling AS4_PATH with
+// AS_PATH per RFC 6793 §4.2.3 when the session used 2-octet encoding:
+// if AS4_PATH is present and no longer than AS_PATH, the trailing
+// portion of AS_PATH is replaced by AS4_PATH (the leading AS_TRANS
+// hops contributed by old speakers are kept).
+func (u *Update) ASPathAttr() (aspath.Path, bool) {
+	ap, ok := u.Attr(AttrTypeASPath).(ASPath)
+	if !ok {
+		return aspath.Path{}, false
+	}
+	a4, ok4 := u.Attr(AttrTypeAS4Path).(AS4Path)
+	if !ok4 {
+		return ap.Path, true
+	}
+	return reconcileAS4(ap.Path, a4.Path), true
+}
+
+// reconcileAS4 merges AS_PATH with AS4_PATH per RFC 6793.
+func reconcileAS4(path, path4 aspath.Path) aspath.Path {
+	n, n4 := path.Len(), path4.Len()
+	if n4 > n {
+		// AS4_PATH longer than AS_PATH: ignore it (RFC 6793 §4.2.3).
+		return path
+	}
+	keep := n - n4
+	// Take the first `keep` path units from AS_PATH, then all of AS4_PATH.
+	var out aspath.Path
+	for _, s := range path.Segments {
+		if keep == 0 {
+			break
+		}
+		switch s.Type {
+		case aspath.SegSequence, aspath.SegConfedSequence:
+			if len(s.ASNs) <= keep {
+				out.Segments = append(out.Segments, s)
+				keep -= len(s.ASNs)
+			} else {
+				out.Segments = append(out.Segments, aspath.Segment{Type: s.Type, ASNs: s.ASNs[:keep]})
+				keep = 0
+			}
+		case aspath.SegSet, aspath.SegConfedSet:
+			out.Segments = append(out.Segments, s)
+			keep--
+		}
+	}
+	out.Segments = append(out.Segments, path4.Segments...)
+	return out
+}
+
+// Reachable returns every announced NLRI: top-level IPv4 plus MP_REACH.
+func (u *Update) Reachable() []NLRI {
+	out := append([]NLRI(nil), u.Announced...)
+	if m, ok := u.Attr(AttrTypeMPReach).(MPReach); ok && m.SAFI == SAFIUnicast {
+		out = append(out, m.NLRI...)
+	}
+	return out
+}
+
+// Unreachable returns every withdrawn NLRI: top-level IPv4 plus MP_UNREACH.
+func (u *Update) Unreachable() []NLRI {
+	out := append([]NLRI(nil), u.Withdrawn...)
+	if m, ok := u.Attr(AttrTypeMPUnreach).(MPUnreach); ok && m.SAFI == SAFIUnicast {
+		out = append(out, m.NLRI...)
+	}
+	return out
+}
+
+// Marshal encodes the UPDATE into a full BGP message (header included).
+// If the path contains 4-octet ASNs and opt.AS4 is false, an AS4_PATH
+// attribute is appended automatically unless one is already present.
+func (u *Update) Marshal(opt Options) ([]byte, error) {
+	var withdrawn []byte
+	var err error
+	for _, n := range u.Withdrawn {
+		if !n.Prefix.Addr().Is4() {
+			return nil, fmt.Errorf("%w: IPv6 prefix in top-level withdrawn", ErrBadNLRI)
+		}
+		withdrawn, err = appendNLRI(withdrawn, n, opt.AddPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	attrs := u.Attrs
+	if !opt.AS4 {
+		if ap, ok := u.Attr(AttrTypeASPath).(ASPath); ok && pathNeedsAS4(ap.Path) {
+			if u.Attr(AttrTypeAS4Path) == nil {
+				attrs = append(append([]Attr(nil), attrs...), AS4Path{Path: ap.Path})
+			}
+		}
+	}
+	var attrBytes []byte
+	for _, a := range attrs {
+		attrBytes, err = appendAttr(attrBytes, a, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var nlri []byte
+	for _, n := range u.Announced {
+		if !n.Prefix.Addr().Is4() {
+			return nil, fmt.Errorf("%w: IPv6 prefix in top-level NLRI", ErrBadNLRI)
+		}
+		nlri, err = appendNLRI(nlri, n, opt.AddPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := HeaderLen + 2 + len(withdrawn) + 2 + len(attrBytes) + len(nlri)
+	if total > MaxMsgLen {
+		return nil, fmt.Errorf("%w: message size %d exceeds %d", ErrBadLength, total, MaxMsgLen)
+	}
+	msg := make([]byte, HeaderLen, total)
+	putHeader(msg, MsgUpdate, total)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(len(withdrawn)))
+	msg = append(msg, withdrawn...)
+	msg = binary.BigEndian.AppendUint16(msg, uint16(len(attrBytes)))
+	msg = append(msg, attrBytes...)
+	msg = append(msg, nlri...)
+	return msg, nil
+}
+
+// ParseUpdate decodes a full BGP message (header included) that must be
+// an UPDATE.
+func ParseUpdate(b []byte, opt Options) (*Update, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != MsgUpdate {
+		return nil, fmt.Errorf("%w: got type %d, want UPDATE", ErrBadType, h.Type)
+	}
+	if int(h.Len) > len(b) {
+		return nil, fmt.Errorf("%w: header claims %d bytes, have %d", ErrTruncated, h.Len, len(b))
+	}
+	return parseUpdateBody(b[HeaderLen:h.Len], opt)
+}
+
+// parseUpdateBody decodes the UPDATE payload (header stripped). MRT
+// BGP4MP records carry full messages; TABLE_DUMP_V2 RIB entries carry
+// bare attribute blocks, which use parseAttrs directly.
+func parseUpdateBody(b []byte, opt Options) (*Update, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: withdrawn length", ErrTruncated)
+	}
+	wlen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < wlen {
+		return nil, fmt.Errorf("%w: withdrawn routes", ErrTruncated)
+	}
+	u := &Update{}
+	var err error
+	if wlen > 0 {
+		u.Withdrawn, err = parseNLRI(b[:wlen], false, opt.AddPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b = b[wlen:]
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: attribute length", ErrTruncated)
+	}
+	alen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < alen {
+		return nil, fmt.Errorf("%w: path attributes", ErrTruncated)
+	}
+	if alen > 0 {
+		u.Attrs, err = parseAttrs(b[:alen], opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b = b[alen:]
+	if len(b) > 0 {
+		u.Announced, err = parseNLRI(b, false, opt.AddPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// ParseAttributes decodes a bare path-attribute block (as stored in MRT
+// TABLE_DUMP_V2 RIB entries).
+func ParseAttributes(b []byte, opt Options) ([]Attr, error) {
+	return parseAttrs(b, opt)
+}
+
+// MarshalAttributes encodes a bare path-attribute block.
+func MarshalAttributes(attrs []Attr, opt Options) ([]byte, error) {
+	var out []byte
+	var err error
+	for _, a := range attrs {
+		out, err = appendAttr(out, a, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NewAnnouncement builds a minimal well-formed announcement UPDATE for
+// the given prefixes sharing one path: ORIGIN, AS_PATH, and NEXT_HOP (or
+// MP_REACH for IPv6). All prefixes must be one family.
+func NewAnnouncement(path aspath.Seq, nextHop netip.Addr, prefixes []netip.Prefix) (*Update, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("%w: no prefixes", ErrBadNLRI)
+	}
+	v6 := prefixes[0].Addr().Is6() && !prefixes[0].Addr().Is4In6()
+	nlri := make([]NLRI, len(prefixes))
+	for i, p := range prefixes {
+		if (p.Addr().Is6() && !p.Addr().Is4In6()) != v6 {
+			return nil, fmt.Errorf("%w: mixed address families", ErrBadNLRI)
+		}
+		nlri[i] = NLRI{Prefix: p}
+	}
+	u := &Update{Attrs: []Attr{Origin(OriginIGP), ASPath{Path: aspath.FromSeq(path)}}}
+	if v6 {
+		nh := nextHop.As16()
+		u.Attrs = append(u.Attrs, MPReach{AFI: AFIIPv6, SAFI: SAFIUnicast, NextHop: nh[:], NLRI: nlri})
+	} else {
+		u.Attrs = append(u.Attrs, NextHop(nextHop))
+		u.Announced = nlri
+	}
+	return u, nil
+}
+
+// NewWithdrawal builds a withdrawal UPDATE for the given prefixes (one
+// family).
+func NewWithdrawal(prefixes []netip.Prefix) (*Update, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("%w: no prefixes", ErrBadNLRI)
+	}
+	v6 := prefixes[0].Addr().Is6() && !prefixes[0].Addr().Is4In6()
+	nlri := make([]NLRI, len(prefixes))
+	for i, p := range prefixes {
+		if (p.Addr().Is6() && !p.Addr().Is4In6()) != v6 {
+			return nil, fmt.Errorf("%w: mixed address families", ErrBadNLRI)
+		}
+		nlri[i] = NLRI{Prefix: p}
+	}
+	u := &Update{}
+	if v6 {
+		u.Attrs = []Attr{MPUnreach{AFI: AFIIPv6, SAFI: SAFIUnicast, NLRI: nlri}}
+	} else {
+		u.Withdrawn = nlri
+	}
+	return u, nil
+}

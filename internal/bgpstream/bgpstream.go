@@ -1,0 +1,399 @@
+// Package bgpstream provides a BGPStream-style element abstraction over
+// MRT archives: RIB rows and update announce/withdraw events, flattened
+// to one element per (prefix, peer), with collector attribution, filter
+// predicates, and the per-message grouping the update-correlation
+// analysis needs (all prefixes of one UPDATE share a MsgIndex).
+//
+// Malformed records do not abort the stream: they are skipped and
+// recorded as Warnings, mirroring how the paper's pipeline turns
+// BGPStream warnings ("unknown BGP4MP record subtype 9", ADD-PATH parse
+// errors) into abnormal-peer signals (§A8.3).
+package bgpstream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"repro/internal/aspath"
+	"repro/internal/bgp"
+	"repro/internal/mrt"
+)
+
+// ElemType classifies a stream element.
+type ElemType uint8
+
+// Element types.
+const (
+	ElemRIB ElemType = iota + 1
+	ElemAnnounce
+	ElemWithdraw
+	ElemState
+)
+
+// String returns the single-letter BGPStream convention.
+func (t ElemType) String() string {
+	switch t {
+	case ElemRIB:
+		return "R"
+	case ElemAnnounce:
+		return "A"
+	case ElemWithdraw:
+		return "W"
+	case ElemState:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// Elem is one route event.
+type Elem struct {
+	Type      ElemType
+	Timestamp uint32
+	Collector string
+	PeerAddr  netip.Addr
+	PeerASN   uint32
+	Prefix    netip.Prefix
+	// Path is the raw AS path (announce and RIB elements).
+	Path aspath.Path
+	// Communities carries the COMMUNITIES attribute when present.
+	Communities []uint32
+	// PathID is the ADD-PATH identifier, when the encoding carries one.
+	PathID uint32
+	// MsgIndex groups elements that arrived in the same BGP UPDATE (or
+	// the same RIB record). Unique per Stream.
+	MsgIndex int
+	// OldState/NewState are set on ElemState.
+	OldState, NewState uint16
+}
+
+// Warning records a record- or message-level parse problem.
+type Warning struct {
+	Collector string
+	PeerASN   uint32
+	Subtype   uint16
+	Reason    string
+}
+
+// Source is one MRT input attributed to a collector. Byte-backed
+// sources (Data set) are reusable: every Stream opens a fresh reader.
+// Reader-backed sources (R set) are single-use.
+type Source struct {
+	Collector string
+	// Data is the archive contents; preferred over R when non-nil.
+	Data []byte
+	// R streams the archive; consumed by the first Stream that reads it.
+	R io.Reader
+	// Options sets the BGP decode options for update messages in this
+	// source (RIB attribute blocks always use AS4 encoding per RFC 6396).
+	Options bgp.Options
+}
+
+// BytesSource wraps an in-memory archive (reusable across Streams).
+func BytesSource(collector string, data []byte, opt bgp.Options) Source {
+	return Source{Collector: collector, Data: data, Options: opt}
+}
+
+// open returns a fresh reader over the source.
+func (s *Source) open() io.Reader {
+	if s.Data != nil {
+		return bytes.NewReader(s.Data)
+	}
+	return s.R
+}
+
+// Filter selects elements. Zero value passes everything.
+type Filter struct {
+	Collectors map[string]bool   // nil = all
+	PeerASNs   map[uint32]bool   // nil = all
+	Types      map[ElemType]bool // nil = all
+	StartTime  uint32            // 0 = open
+	EndTime    uint32            // 0 = open
+	V6Only     bool
+	V4Only     bool
+}
+
+// Match reports whether e passes the filter.
+func (f *Filter) Match(e *Elem) bool {
+	if f == nil {
+		return true
+	}
+	if f.Collectors != nil && !f.Collectors[e.Collector] {
+		return false
+	}
+	if f.PeerASNs != nil && !f.PeerASNs[e.PeerASN] {
+		return false
+	}
+	if f.Types != nil && !f.Types[e.Type] {
+		return false
+	}
+	if f.StartTime != 0 && e.Timestamp < f.StartTime {
+		return false
+	}
+	if f.EndTime != 0 && e.Timestamp > f.EndTime {
+		return false
+	}
+	if f.V6Only || f.V4Only {
+		if !e.Prefix.IsValid() {
+			return false
+		}
+		v6 := e.Prefix.Addr().Is6() && !e.Prefix.Addr().Is4In6()
+		if f.V6Only && !v6 {
+			return false
+		}
+		if f.V4Only && v6 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stream iterates elements across sources in order.
+type Stream struct {
+	sources []Source
+	filter  *Filter
+
+	cur      int
+	reader   *mrt.Reader
+	peers    []mrt.Peer // current source's PEER_INDEX_TABLE
+	pending  []Elem
+	msgIndex int
+	warnings []Warning
+}
+
+// NewStream builds a stream over the sources, applying the filter (nil
+// passes all).
+func NewStream(filter *Filter, sources ...Source) *Stream {
+	return &Stream{sources: sources, filter: filter}
+}
+
+// Warnings returns parse problems encountered so far.
+func (s *Stream) Warnings() []Warning { return s.warnings }
+
+// Next returns the next element, or io.EOF when all sources drain.
+func (s *Stream) Next() (Elem, error) {
+	for {
+		if len(s.pending) > 0 {
+			e := s.pending[0]
+			s.pending = s.pending[1:]
+			if s.filter.Match(&e) {
+				return e, nil
+			}
+			continue
+		}
+		if s.reader == nil {
+			if s.cur >= len(s.sources) {
+				return Elem{}, io.EOF
+			}
+			s.reader = mrt.NewReader(s.sources[s.cur].open())
+			s.peers = nil
+		}
+		rec, err := s.reader.Next()
+		if err == io.EOF {
+			s.reader = nil
+			s.cur++
+			continue
+		}
+		if err != nil {
+			// A corrupt record boundary is unrecoverable within the
+			// source; warn and move on to the next source.
+			s.warn(0, 0, fmt.Sprintf("record error: %v", err))
+			s.reader = nil
+			s.cur++
+			continue
+		}
+		s.decode(rec)
+	}
+}
+
+// All drains the stream.
+func (s *Stream) All() ([]Elem, error) {
+	var out []Elem
+	for {
+		e, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+func (s *Stream) warn(peerASN uint32, subtype uint16, reason string) {
+	s.warnings = append(s.warnings, Warning{
+		Collector: s.sources[s.cur].Collector,
+		PeerASN:   peerASN,
+		Subtype:   subtype,
+		Reason:    reason,
+	})
+}
+
+func (s *Stream) decode(rec mrt.Record) {
+	src := s.sources[s.cur]
+	switch rec.Type {
+	case mrt.TypeTableDumpV2:
+		switch {
+		case rec.Subtype == mrt.SubPeerIndexTable:
+			pit, err := mrt.ParsePeerIndexTable(rec.Body)
+			if err != nil {
+				s.warn(0, rec.Subtype, fmt.Sprintf("peer index table: %v", err))
+				return
+			}
+			s.peers = pit.Peers
+		case rec.IsRIB():
+			rib, err := mrt.ParseRIB(rec.Subtype, rec.Body)
+			if err != nil {
+				s.warn(0, rec.Subtype, fmt.Sprintf("RIB record: %v", err))
+				return
+			}
+			s.msgIndex++
+			for _, entry := range rib.Entries {
+				if int(entry.PeerIndex) >= len(s.peers) {
+					s.warn(0, rec.Subtype, fmt.Sprintf("peer index %d out of range", entry.PeerIndex))
+					continue
+				}
+				peer := s.peers[entry.PeerIndex]
+				// RIB attribute blocks always use 4-octet ASNs (RFC 6396
+				// §4.3.4); ADD-PATH follows the record subtype.
+				attrs, err := bgp.ParseAttributes(entry.Attrs, bgp.Options{AS4: true, AddPath: rib.AddPath})
+				if err != nil {
+					s.warn(peer.ASN, rec.Subtype, fmt.Sprintf("RIB attributes: %v", err))
+					continue
+				}
+				e := Elem{
+					Type: ElemRIB, Timestamp: rec.Timestamp, Collector: src.Collector,
+					PeerAddr: peer.Addr, PeerASN: peer.ASN, Prefix: rib.Prefix,
+					PathID: entry.PathID, MsgIndex: s.msgIndex,
+				}
+				applyAttrs(&e, attrs)
+				s.pending = append(s.pending, e)
+			}
+		default:
+			s.warn(0, rec.Subtype, fmt.Sprintf("unknown TABLE_DUMP_V2 record subtype %d", rec.Subtype))
+		}
+	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
+		switch rec.Subtype {
+		case mrt.SubStateChange, mrt.SubStateChangeAS4:
+			sc, err := mrt.ParseStateChange(rec.Subtype, rec.Body)
+			if err != nil {
+				s.warn(0, rec.Subtype, fmt.Sprintf("state change: %v", err))
+				return
+			}
+			s.msgIndex++
+			s.pending = append(s.pending, Elem{
+				Type: ElemState, Timestamp: rec.Timestamp, Collector: src.Collector,
+				PeerAddr: sc.PeerAddr, PeerASN: sc.PeerAS,
+				OldState: sc.OldState, NewState: sc.NewState, MsgIndex: s.msgIndex,
+			})
+		case mrt.SubMessage, mrt.SubMessageAS4, mrt.SubMessageAP, mrt.SubMessageAS4AP:
+			msg, err := mrt.ParseMessage(rec.Subtype, rec.Body)
+			if err != nil {
+				s.warn(0, rec.Subtype, fmt.Sprintf("BGP4MP message: %v", err))
+				return
+			}
+			s.decodeUpdate(rec, msg, src)
+		default:
+			s.warn(0, rec.Subtype, fmt.Sprintf("unknown BGP4MP record subtype %d", rec.Subtype))
+		}
+	default:
+		s.warn(0, rec.Subtype, fmt.Sprintf("unknown MRT record type %d", rec.Type))
+	}
+}
+
+func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
+	h, err := bgp.ParseHeader(msg.Data)
+	if err != nil {
+		s.warn(msg.PeerAS, rec.Subtype, fmt.Sprintf("BGP header: %v", err))
+		return
+	}
+	if h.Type != bgp.MsgUpdate {
+		// Keepalives etc. are legal in archives; ignore silently.
+		return
+	}
+	opt := src.Options
+	opt.AS4 = msg.AS4
+	opt.AddPath = msg.AddPath
+	u, err := bgp.ParseUpdate(msg.Data, opt)
+	if err != nil {
+		s.warn(msg.PeerAS, rec.Subtype, fmt.Sprintf("UPDATE parse: %v", err))
+		return
+	}
+	// ADD-PATH mismatch signature: reading ADD-PATH NLRI as plain NLRI
+	// turns the 4-byte path identifiers into phantom default routes.
+	// Two or more /0 entries in one message is never legitimate.
+	if zeroRuns(u) >= 2 {
+		s.warn(msg.PeerAS, rec.Subtype, "suspicious NLRI: repeated zero-length prefixes (possible ADD-PATH mismatch)")
+	}
+	s.msgIndex++
+	base := Elem{
+		Timestamp: rec.Timestamp, Collector: src.Collector,
+		PeerAddr: msg.PeerAddr, PeerASN: msg.PeerAS, MsgIndex: s.msgIndex,
+	}
+	var path aspath.Path
+	if p, ok := u.ASPathAttr(); ok {
+		path = p
+	}
+	var comms []uint32
+	if c, ok := u.Attr(bgp.AttrTypeCommunities).(bgp.Communities); ok {
+		comms = c
+	}
+	for _, n := range u.Unreachable() {
+		e := base
+		e.Type = ElemWithdraw
+		e.Prefix = n.Prefix
+		e.PathID = n.PathID
+		s.pending = append(s.pending, e)
+	}
+	for _, n := range u.Reachable() {
+		e := base
+		e.Type = ElemAnnounce
+		e.Prefix = n.Prefix
+		e.PathID = n.PathID
+		e.Path = path
+		e.Communities = comms
+		s.pending = append(s.pending, e)
+	}
+}
+
+// zeroRuns counts zero-length (default-route) NLRI entries across the
+// update's announced and withdrawn sets.
+func zeroRuns(u *bgp.Update) int {
+	n := 0
+	for _, x := range u.Reachable() {
+		if x.Prefix.Bits() == 0 {
+			n++
+		}
+	}
+	for _, x := range u.Unreachable() {
+		if x.Prefix.Bits() == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func applyAttrs(e *Elem, attrs []bgp.Attr) {
+	var path, path4 aspath.Path
+	var have4 bool
+	for _, a := range attrs {
+		switch v := a.(type) {
+		case bgp.ASPath:
+			path = v.Path
+		case bgp.AS4Path:
+			path4, have4 = v.Path, true
+		case bgp.Communities:
+			e.Communities = v
+		}
+	}
+	if have4 {
+		u := bgp.Update{Attrs: []bgp.Attr{bgp.ASPath{Path: path}, bgp.AS4Path{Path: path4}}}
+		if p, ok := u.ASPathAttr(); ok {
+			path = p
+		}
+	}
+	e.Path = path
+}

@@ -1,0 +1,133 @@
+package collector
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/aspath"
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sanitize"
+	"repro/internal/topology"
+)
+
+// BuildFeeds computes every peer feed's routing table in memory — the
+// longitudinal fast path. It produces the same logical content as
+// BuildRIBs → MRT → bgpstream → sanitize ingestion, skipping the wire
+// round-trip: partial-feed subsetting, ghost prefixes, private-ASN
+// insertion, duplicate counting, and stale stuck feeds are all applied
+// identically (the same hash decisions), so sanitize.CleanFeeds yields
+// the same snapshot either way. TestFastPathEquivalence holds the two
+// paths together.
+//
+// The ADD-PATH artifact has no feed-level representation (it is a wire
+// encoding defect); its detection signal travels via update-stream
+// warnings in both paths.
+func BuildFeeds(g *topology.Graph, in *Infra, ov *routing.Overlay, ts uint32) []*sanitize.Feed {
+	peerSet := map[uint32]*Peer{}
+	var vps, stuckVPs []uint32
+	for _, cp := range in.AllPeers() {
+		if _, ok := peerSet[cp.Peer.ASN]; ok {
+			continue
+		}
+		peerSet[cp.Peer.ASN] = cp.Peer
+		if cp.Peer.Artifact == ArtifactStuck {
+			stuckVPs = append(stuckVPs, cp.Peer.ASN)
+		} else {
+			vps = append(vps, cp.Peer.ASN)
+		}
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	sort.Slice(stuckVPs, func(i, j int) bool { return stuckVPs[i] < stuckVPs[j] })
+
+	routes := map[netip.Prefix]map[uint32]routeEntry{}
+	merge := func(pfx netip.Prefix, vp uint32, r routing.VPRoute) {
+		m := routes[pfx]
+		if m == nil {
+			m = map[uint32]routeEntry{}
+			routes[pfx] = m
+		}
+		cur, ok := m[vp]
+		cand := routeEntry{class: r.Class, cost: r.Cost, path: r.Path}
+		if !ok || better(cand, cur) {
+			m[vp] = cand
+		}
+	}
+	moves := routing.BuildMoveSet(ov)
+	eng := routing.NewEngine(g, ov)
+	shifted := hasShifts(ov, vps)
+	for _, u := range g.Groups {
+		prefixes := moves.UnitPrefixes(u)
+		if len(prefixes) == 0 {
+			continue
+		}
+		rs := eng.PathsAt(u, vps)
+		var alts []routing.VPRoute
+		if shifted {
+			alts = eng.AltPathsAt(vps)
+		}
+		for i, r := range rs {
+			if r.Path == nil {
+				continue
+			}
+			for _, pfx := range prefixes {
+				merge(pfx, vps[i], shiftRoute(ov, vps[i], pfx, r, alts, i))
+			}
+		}
+	}
+	if len(stuckVPs) > 0 {
+		stale := routing.NewEngine(g, nil)
+		for _, u := range g.Groups {
+			rs := stale.PathsAt(u, stuckVPs)
+			for i, r := range rs {
+				if r.Path == nil {
+					continue
+				}
+				for _, pfx := range u.Prefixes {
+					merge(pfx, stuckVPs[i], r)
+				}
+			}
+		}
+	}
+
+	var feeds []*sanitize.Feed
+	for _, c := range in.Collectors {
+		for _, p := range c.Peers {
+			f := &sanitize.Feed{
+				VP:     core.VP{Collector: c.Name, ASN: p.ASN},
+				Time:   ts,
+				Routes: map[netip.Prefix]aspath.Seq{},
+			}
+			for pfx, perVP := range routes {
+				r, ok := perVP[p.ASN]
+				if !ok {
+					continue
+				}
+				if !p.FullFeed && unitc(in.Seed, 0xfeed, uint64(p.ASN), prefixLabel(pfx)) >= p.PartialShare {
+					continue
+				}
+				path := r.path
+				if p.Artifact == ArtifactPrivateASN && len(path) > 0 {
+					mod := make(aspath.Seq, 0, len(path)+1)
+					mod = append(mod, path[0], 65000)
+					mod = append(mod, path[1:]...)
+					path = mod
+				}
+				f.Routes[pfx] = path
+				if p.Artifact == ArtifactDuplicates && unitc(in.Seed, 0xd0b1, uint64(p.ASN), prefixLabel(pfx)) < 0.15 {
+					f.Duplicates++
+				}
+			}
+			if p.GhostShare > 0 {
+				n := int(p.GhostShare * float64(len(routes)) * p.PartialShare)
+				for j := 0; j < n; j++ {
+					pfx := ghostPrefix(p.ASN, j)
+					fakeOrigin := uint32(900000 + pickc(100000, in.Seed, 0x6057, uint64(p.ASN), uint64(j)))
+					f.Routes[pfx] = aspath.Seq{p.ASN, fakeOrigin}
+				}
+			}
+			feeds = append(feeds, f)
+		}
+	}
+	return feeds
+}

@@ -1,0 +1,73 @@
+package collector
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/bgpstream"
+	"repro/internal/routing"
+	"repro/internal/sanitize"
+	"repro/internal/topology"
+)
+
+// TestFastPathEquivalence pins the contract of BuildFeeds: the in-memory
+// fast path and the full MRT wire round-trip must produce identical
+// sanitized snapshots.
+func TestFastPathEquivalence(t *testing.T) {
+	p := topology.DefaultParams(41)
+	p.Scale = 0.008
+	g := topology.Generate(p, topology.EraOf(2019, 3))
+	in := BuildInfra(g, Config{Seed: 11, Artifacts: true})
+	model := routing.ChurnModel{Seed: 3, UnitEventRate: 0.3, VPEventRate: 0.05,
+		TransitFlipShare: 0.4, PrefixMobileShare: 0.01, PrefixBaseMoveRate: 0.01, VPShiftShare: 0.01}
+	ts := EpochOf(g.Era)
+	ov := model.OverlayAt(g, 12.5, in.FullFeedASNs())
+
+	// Slow path: MRT round-trip.
+	snap := BuildRIBs(g, in, ov, ts)
+	var sources []bgpstream.Source
+	for name, data := range snap.Archives {
+		sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
+	}
+	slow, slowRep, err := sanitize.Clean(sources, nil, sanitize.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast path: in-memory feeds.
+	feeds := BuildFeeds(g, in, ov, ts)
+	fast, fastRep, err := sanitize.CleanFeeds(feeds, nil, sanitize.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(slow.VPs) != len(fast.VPs) {
+		t.Fatalf("VPs: slow %d fast %d", len(slow.VPs), len(fast.VPs))
+	}
+	for i := range slow.VPs {
+		if slow.VPs[i] != fast.VPs[i] {
+			t.Fatalf("VP %d: %v != %v", i, slow.VPs[i], fast.VPs[i])
+		}
+	}
+	if len(slow.Prefixes) != len(fast.Prefixes) {
+		t.Fatalf("prefixes: slow %d fast %d", len(slow.Prefixes), len(fast.Prefixes))
+	}
+	for i := range slow.Prefixes {
+		if slow.Prefixes[i] != fast.Prefixes[i] {
+			t.Fatalf("prefix %d: %v != %v", i, slow.Prefixes[i], fast.Prefixes[i])
+		}
+	}
+	for p := range slow.Prefixes {
+		for v := range slow.VPs {
+			a, b := slow.Route(p, v), fast.Route(p, v)
+			if !a.Equal(b) {
+				t.Fatalf("route (%d,%d): %v != %v", p, v, a, b)
+			}
+		}
+	}
+	if slowRep.FullFeeds != fastRep.FullFeeds ||
+		slowRep.PrefixesAdmitted != fastRep.PrefixesAdmitted ||
+		slowRep.MOASPrefixes != fastRep.MOASPrefixes {
+		t.Errorf("reports differ: slow %+v fast %+v", slowRep, fastRep)
+	}
+}

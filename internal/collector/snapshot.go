@@ -1,0 +1,282 @@
+package collector
+
+import (
+	"bytes"
+	"net/netip"
+	"sort"
+
+	"repro/internal/aspath"
+	"repro/internal/bgp"
+	"repro/internal/mrt"
+	"repro/internal/prefixset"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Snapshot is one RIB dump across all collectors.
+type Snapshot struct {
+	Era       topology.Era
+	Timestamp uint32
+	// Archives maps collector name to its MRT TABLE_DUMP_V2 archive.
+	Archives map[string][]byte
+}
+
+// routeEntry is a peer's merged best route for one prefix.
+type routeEntry struct {
+	class routing.Class
+	cost  int
+	path  aspath.Seq
+}
+
+// BuildRIBs computes every peer's routing table under the overlay and
+// dumps per-collector MRT archives. MOAS prefixes (present in several
+// units) are merged per peer by the BGP decision order: class, then
+// cost, then lowest path lexicographically.
+func BuildRIBs(g *topology.Graph, in *Infra, ov *routing.Overlay, ts uint32) *Snapshot {
+	snap := &Snapshot{Era: g.Era, Timestamp: ts, Archives: make(map[string][]byte)}
+
+	// Distinct peers; stuck peers route on the pristine (overlay-free)
+	// graph — their feed is stale.
+	peerSet := map[uint32]*Peer{}
+	var vps, stuckVPs []uint32
+	for _, cp := range in.AllPeers() {
+		if _, ok := peerSet[cp.Peer.ASN]; ok {
+			continue
+		}
+		peerSet[cp.Peer.ASN] = cp.Peer
+		if cp.Peer.Artifact == ArtifactStuck {
+			stuckVPs = append(stuckVPs, cp.Peer.ASN)
+		} else {
+			vps = append(vps, cp.Peer.ASN)
+		}
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	sort.Slice(stuckVPs, func(i, j int) bool { return stuckVPs[i] < stuckVPs[j] })
+
+	routes := map[netip.Prefix]map[uint32]routeEntry{}
+	merge := func(pfx netip.Prefix, vp uint32, r routing.VPRoute) {
+		m := routes[pfx]
+		if m == nil {
+			m = map[uint32]routeEntry{}
+			routes[pfx] = m
+		}
+		cur, ok := m[vp]
+		cand := routeEntry{class: r.Class, cost: r.Cost, path: r.Path}
+		if !ok || better(cand, cur) {
+			m[vp] = cand
+		}
+	}
+
+	moves := routing.BuildMoveSet(ov)
+	eng := routing.NewEngine(g, ov)
+	shifted := hasShifts(ov, vps)
+	for _, u := range g.Groups {
+		prefixes := moves.UnitPrefixes(u)
+		if len(prefixes) == 0 {
+			continue
+		}
+		rs := eng.PathsAt(u, vps)
+		var alts []routing.VPRoute
+		if shifted {
+			alts = eng.AltPathsAt(vps)
+		}
+		for i, r := range rs {
+			if r.Path == nil {
+				continue
+			}
+			for _, pfx := range prefixes {
+				merge(pfx, vps[i], shiftRoute(ov, vps[i], pfx, r, alts, i))
+			}
+		}
+	}
+	if len(stuckVPs) > 0 {
+		// Stuck peers serve the pristine world: no overlay, no moves.
+		stale := routing.NewEngine(g, nil)
+		for _, u := range g.Groups {
+			rs := stale.PathsAt(u, stuckVPs)
+			for i, r := range rs {
+				if r.Path == nil {
+					continue
+				}
+				for _, pfx := range u.Prefixes {
+					merge(pfx, stuckVPs[i], r)
+				}
+			}
+		}
+	}
+
+	prefixes := make([]netip.Prefix, 0, len(routes))
+	for p := range routes {
+		prefixes = append(prefixes, p)
+	}
+	prefixset.SortPrefixes(prefixes)
+
+	for _, c := range in.Collectors {
+		snap.Archives[c.Name] = buildArchive(in, c, prefixes, routes, ts)
+	}
+	return snap
+}
+
+// hasShifts reports whether any vantage point carries a shift token.
+func hasShifts(ov *routing.Overlay, vps []uint32) bool {
+	if ov == nil || ov.VPShiftShare <= 0 {
+		return false
+	}
+	for _, vp := range vps {
+		if ov.VPShift[vp] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// shiftRoute applies a VP's per-prefix route shift: a shifted VP reports
+// its runner-up route for a small hash-selected share of prefixes. The
+// set is 70% sticky (stable across the VP's events) and 30% churning
+// (re-drawn each event), so consecutive snapshots differ by a bounded
+// sliver — localized split events without compounding instability.
+func shiftRoute(ov *routing.Overlay, vp uint32, pfx netip.Prefix, best routing.VPRoute, alts []routing.VPRoute, i int) routing.VPRoute {
+	if ov == nil || alts == nil {
+		return best
+	}
+	token := ov.VPShift[vp]
+	if token == 0 || alts[i].Path == nil {
+		return best
+	}
+	label := prefixLabel(pfx)
+	if unitc(ov.VPSticky[vp], label) < ov.VPShiftShare*0.7 ||
+		unitc(token, label) < ov.VPShiftShare*0.3 {
+		return alts[i]
+	}
+	return best
+}
+
+// better orders candidate routes for MOAS merging.
+func better(a, b routeEntry) bool {
+	if a.class != b.class {
+		return a.class > b.class
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	// Lexicographic path comparison for a total order.
+	n := len(a.path)
+	if len(b.path) < n {
+		n = len(b.path)
+	}
+	for i := 0; i < n; i++ {
+		if a.path[i] != b.path[i] {
+			return a.path[i] < b.path[i]
+		}
+	}
+	return len(a.path) < len(b.path)
+}
+
+// buildArchive writes one collector's TABLE_DUMP_V2 archive.
+func buildArchive(in *Infra, c *Collector, prefixes []netip.Prefix, routes map[netip.Prefix]map[uint32]routeEntry, ts uint32) []byte {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+
+	pit := &mrt.PeerIndexTable{CollectorID: c.ID, ViewName: c.Name}
+	for _, p := range c.Peers {
+		pit.Peers = append(pit.Peers, mrt.Peer{BGPID: p.Addr, Addr: p.Addr, ASN: p.ASN})
+	}
+	body, err := pit.Marshal()
+	if err != nil {
+		panic("collector: peer index table: " + err.Error())
+	}
+	w.WriteRecord(mrt.Record{Timestamp: ts, Type: mrt.TypeTableDumpV2, Subtype: mrt.SubPeerIndexTable, Body: body})
+
+	seq := uint32(0)
+	emit := func(pfx netip.Prefix, entries []mrt.RIBEntry) {
+		if len(entries) == 0 {
+			return
+		}
+		rib := &mrt.RIB{Sequence: seq, Prefix: pfx, Entries: entries}
+		seq++
+		b, err := rib.Marshal()
+		if err != nil {
+			panic("collector: rib: " + err.Error())
+		}
+		w.WriteRecord(mrt.Record{Timestamp: ts, Type: mrt.TypeTableDumpV2, Subtype: rib.Subtype(), Body: b})
+	}
+
+	for _, pfx := range prefixes {
+		perVP := routes[pfx]
+		var entries []mrt.RIBEntry
+		for idx, p := range c.Peers {
+			r, ok := perVP[p.ASN]
+			if !ok {
+				continue
+			}
+			if !p.FullFeed && unitc(in.Seed, 0xfeed, uint64(p.ASN), prefixLabel(pfx)) >= p.PartialShare {
+				continue
+			}
+			path := r.path
+			if p.Artifact == ArtifactPrivateASN && len(path) > 0 {
+				mod := make(aspath.Seq, 0, len(path)+1)
+				mod = append(mod, path[0], 65000)
+				mod = append(mod, path[1:]...)
+				path = mod
+			}
+			attrs := ribAttrs(path)
+			entries = append(entries, mrt.RIBEntry{PeerIndex: uint16(idx), Originated: ts - 3600, Attrs: attrs})
+			if p.Artifact == ArtifactDuplicates && unitc(in.Seed, 0xd0b1, uint64(p.ASN), prefixLabel(pfx)) < 0.15 {
+				entries = append(entries, mrt.RIBEntry{PeerIndex: uint16(idx), Originated: ts - 3599, Attrs: attrs})
+			}
+		}
+		emit(pfx, entries)
+	}
+
+	// Ghost prefixes: fabricated, visible only at this peer — the very
+	// localized announcements the visibility filter removes.
+	for idx, p := range c.Peers {
+		if p.GhostShare <= 0 {
+			continue
+		}
+		n := int(p.GhostShare * float64(len(prefixes)) * p.PartialShare)
+		for j := 0; j < n; j++ {
+			pfx := ghostPrefix(p.ASN, j)
+			fakeOrigin := uint32(900000 + pickc(100000, in.Seed, 0x6057, uint64(p.ASN), uint64(j)))
+			path := aspath.Seq{p.ASN, fakeOrigin}
+			emit(pfx, []mrt.RIBEntry{{PeerIndex: uint16(idx), Originated: ts - 3600, Attrs: ribAttrs(path)}})
+		}
+	}
+
+	if err := w.Flush(); err != nil {
+		panic("collector: flush: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// ribAttrs encodes the standard attribute block for a RIB entry.
+func ribAttrs(path aspath.Seq) []byte {
+	attrs := []bgp.Attr{
+		bgp.Origin(bgp.OriginIGP),
+		bgp.ASPath{Path: aspath.FromSeq(path)},
+	}
+	b, err := bgp.MarshalAttributes(attrs, bgp.Options{AS4: true})
+	if err != nil {
+		panic("collector: attrs: " + err.Error())
+	}
+	return b
+}
+
+// ghostPrefix fabricates a per-peer /24 in a reserved region.
+func ghostPrefix(asn uint32, j int) netip.Prefix {
+	// 176.0.0.0 region, disjoint from topology allocations.
+	slot := uint32(0xB0000000>>8) + (asn%100000)*64 + uint32(j)
+	v := slot << 8
+	b := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	return netip.PrefixFrom(netip.AddrFrom4(b), 24)
+}
+
+// prefixLabel hashes a prefix into a stable label for unitc.
+func prefixLabel(p netip.Prefix) uint64 {
+	a := p.Addr().As16()
+	hi := uint64(a[0])<<56 | uint64(a[1])<<48 | uint64(a[2])<<40 | uint64(a[3])<<32 |
+		uint64(a[4])<<24 | uint64(a[5])<<16 | uint64(a[6])<<8 | uint64(a[7])
+	lo := uint64(a[8])<<56 | uint64(a[9])<<48 | uint64(a[10])<<40 | uint64(a[11])<<32 |
+		uint64(a[12])<<24 | uint64(a[13])<<16 | uint64(a[14])<<8 | uint64(a[15])
+	return hi ^ lo*31 ^ uint64(p.Bits())
+}

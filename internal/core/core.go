@@ -1,0 +1,310 @@
+// Package core implements the paper's primary contribution: policy-atom
+// computation. A policy atom is a maximal group of prefixes that share
+// the same AS path at every vantage point (Broido & Claffy 2001; Afek
+// et al. 2002). The package models a sanitized BGP snapshot as a dense
+// (prefix × vantage point) matrix of interned path IDs, groups identical
+// rows into atoms by hashing, and derives the general statistics of
+// Tables 1 and 4 and the distributions of Figures 2, 8 and 14.
+package core
+
+import (
+	"fmt"
+	"hash/maphash"
+	"net/netip"
+	"sort"
+
+	"repro/internal/aspath"
+)
+
+// VP identifies a vantage point: one peer feed at one collector.
+type VP struct {
+	Collector string
+	ASN       uint32
+}
+
+// String renders "rrc00/AS3356".
+func (v VP) String() string { return fmt.Sprintf("%s/AS%d", v.Collector, v.ASN) }
+
+// Snapshot is a sanitized routing snapshot: for every prefix, the AS
+// path observed at every vantage point (aspath.Empty where the prefix
+// was missing — the paper's "empty path" convention).
+type Snapshot struct {
+	Time     uint32
+	VPs      []VP
+	Prefixes []netip.Prefix
+	Paths    *aspath.Table
+	// Routes[p][v] is the interned path of prefix p at VP v.
+	Routes [][]aspath.ID
+}
+
+// NewSnapshot allocates an empty snapshot with the given shape. Routes
+// rows are zeroed (all paths empty).
+func NewSnapshot(time uint32, vps []VP, prefixes []netip.Prefix) *Snapshot {
+	s := &Snapshot{
+		Time:     time,
+		VPs:      vps,
+		Prefixes: prefixes,
+		Paths:    aspath.NewTable(),
+		Routes:   make([][]aspath.ID, len(prefixes)),
+	}
+	for i := range s.Routes {
+		s.Routes[i] = make([]aspath.ID, len(vps))
+	}
+	return s
+}
+
+// SetRoute interns the path for (prefix index, vp index).
+func (s *Snapshot) SetRoute(p, v int, seq aspath.Seq) {
+	s.Routes[p][v] = s.Paths.Intern(seq)
+}
+
+// Route returns the path sequence at (prefix index, vp index); nil if
+// missing.
+func (s *Snapshot) Route(p, v int) aspath.Seq {
+	return s.Paths.Seq(s.Routes[p][v])
+}
+
+// VisibleVPs counts VPs at which prefix p has a non-empty path.
+func (s *Snapshot) VisibleVPs(p int) int {
+	n := 0
+	for _, id := range s.Routes[p] {
+		if id != aspath.Empty {
+			n++
+		}
+	}
+	return n
+}
+
+// Atom is one policy atom.
+type Atom struct {
+	ID int
+	// Prefixes are indices into Snapshot.Prefixes, ascending.
+	Prefixes []int
+	// Vector is the shared per-VP path vector.
+	Vector []aspath.ID
+	// Origin is the majority origin AS across the vector's non-empty
+	// paths (0 if the atom is invisible everywhere).
+	Origin uint32
+	// MOASConflict marks vectors whose paths disagree on the origin AS.
+	MOASConflict bool
+}
+
+// Size returns the number of prefixes.
+func (a *Atom) Size() int { return len(a.Prefixes) }
+
+// AtomSet is the result of atom computation over one snapshot.
+type AtomSet struct {
+	Snap  *Snapshot
+	Atoms []Atom
+	// ByPrefix maps prefix index → atom ID.
+	ByPrefix []int
+}
+
+var atomSeed = maphash.MakeSeed()
+
+// ComputeAtoms groups prefixes with identical path vectors. The grouping
+// hashes each row and verifies exactly on collision, so results are
+// independent of hash quality. Runs in O(prefixes × VPs).
+func ComputeAtoms(s *Snapshot) *AtomSet {
+	type bucket struct {
+		rows []int // representative prefix rows, one per distinct vector
+		atom []int // parallel: atom index
+	}
+	as := &AtomSet{Snap: s, ByPrefix: make([]int, len(s.Prefixes))}
+	buckets := make(map[uint64]*bucket, len(s.Prefixes))
+
+	var h maphash.Hash
+	rowHash := func(row []aspath.ID) uint64 {
+		h.SetSeed(atomSeed)
+		for _, id := range row {
+			var b [4]byte
+			b[0], b[1], b[2], b[3] = byte(id>>24), byte(id>>16), byte(id>>8), byte(id)
+			h.Write(b[:])
+		}
+		return h.Sum64()
+	}
+	rowsEqual := func(a, b []aspath.ID) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for p := range s.Prefixes {
+		row := s.Routes[p]
+		hv := rowHash(row)
+		bk := buckets[hv]
+		if bk == nil {
+			bk = &bucket{}
+			buckets[hv] = bk
+		}
+		found := -1
+		for i, rep := range bk.rows {
+			if rowsEqual(s.Routes[rep], row) {
+				found = bk.atom[i]
+				break
+			}
+		}
+		if found < 0 {
+			found = len(as.Atoms)
+			as.Atoms = append(as.Atoms, Atom{ID: found, Vector: row})
+			bk.rows = append(bk.rows, p)
+			bk.atom = append(bk.atom, found)
+		}
+		as.Atoms[found].Prefixes = append(as.Atoms[found].Prefixes, p)
+		as.ByPrefix[p] = found
+	}
+
+	for i := range as.Atoms {
+		as.Atoms[i].Origin, as.Atoms[i].MOASConflict = vectorOrigin(s.Paths, as.Atoms[i].Vector)
+	}
+	return as
+}
+
+// vectorOrigin returns the majority origin across non-empty paths and
+// whether distinct origins appear (a MOAS conflict).
+func vectorOrigin(tbl *aspath.Table, vec []aspath.ID) (uint32, bool) {
+	counts := make(map[uint32]int, 2)
+	for _, id := range vec {
+		if id == aspath.Empty {
+			continue
+		}
+		if o, ok := tbl.Origin(id); ok {
+			counts[o]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	var best uint32
+	bestN := -1
+	for o, n := range counts {
+		if n > bestN || (n == bestN && o < best) {
+			best, bestN = o, n
+		}
+	}
+	return best, len(counts) > 1
+}
+
+// ByOrigin groups atom IDs by their origin AS (MOAS-conflicted atoms
+// are grouped under their majority origin).
+func (as *AtomSet) ByOrigin() map[uint32][]int {
+	out := make(map[uint32][]int)
+	for i := range as.Atoms {
+		a := &as.Atoms[i]
+		if a.Origin == 0 {
+			continue
+		}
+		out[a.Origin] = append(out[a.Origin], a.ID)
+	}
+	return out
+}
+
+// PrefixSet returns the atom's prefixes as values.
+func (as *AtomSet) PrefixSet(atomID int) []netip.Prefix {
+	a := &as.Atoms[atomID]
+	out := make([]netip.Prefix, len(a.Prefixes))
+	for i, p := range a.Prefixes {
+		out[i] = as.Snap.Prefixes[p]
+	}
+	return out
+}
+
+// GeneralStats are the headline numbers of Tables 1 and 4.
+type GeneralStats struct {
+	Prefixes          int
+	ASes              int
+	SingleAtomASes    int
+	Atoms             int
+	SinglePrefixAtoms int
+	MeanAtomSize      float64
+	P99AtomSize       int
+	LargestAtom       int
+	MOASPrefixes      int
+}
+
+// Stats computes the general statistics.
+func (as *AtomSet) Stats() GeneralStats {
+	st := GeneralStats{Prefixes: len(as.Snap.Prefixes), Atoms: len(as.Atoms)}
+	atomsPerAS := make(map[uint32]int)
+	sizes := make([]int, 0, len(as.Atoms))
+	for i := range as.Atoms {
+		a := &as.Atoms[i]
+		sz := a.Size()
+		sizes = append(sizes, sz)
+		if sz == 1 {
+			st.SinglePrefixAtoms++
+		}
+		if sz > st.LargestAtom {
+			st.LargestAtom = sz
+		}
+		if a.Origin != 0 {
+			atomsPerAS[a.Origin]++
+		}
+		if a.MOASConflict {
+			st.MOASPrefixes += sz
+		}
+	}
+	st.ASes = len(atomsPerAS)
+	for _, n := range atomsPerAS {
+		if n == 1 {
+			st.SingleAtomASes++
+		}
+	}
+	if len(sizes) > 0 {
+		sort.Ints(sizes)
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		st.MeanAtomSize = float64(total) / float64(len(sizes))
+		st.P99AtomSize = sizes[(len(sizes)*99)/100]
+		if (len(sizes)*99)/100 >= len(sizes) {
+			st.P99AtomSize = sizes[len(sizes)-1]
+		}
+	}
+	return st
+}
+
+// AtomsPerASCounts returns, for every origin AS, its atom count —
+// the Fig 2 (left) distribution.
+func (as *AtomSet) AtomsPerASCounts() []int {
+	m := as.ByOrigin()
+	out := make([]int, 0, len(m))
+	for _, atoms := range m {
+		out = append(out, len(atoms))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PrefixesPerAtomCounts returns every atom's size — the Fig 2 (right)
+// distribution.
+func (as *AtomSet) PrefixesPerAtomCounts() []int {
+	out := make([]int, 0, len(as.Atoms))
+	for i := range as.Atoms {
+		out = append(out, as.Atoms[i].Size())
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PrefixesPerASCounts returns, for every origin AS, its distinct prefix
+// count (Fig 14's third curve).
+func (as *AtomSet) PrefixesPerASCounts() []int {
+	m := make(map[uint32]int)
+	for i := range as.Atoms {
+		a := &as.Atoms[i]
+		if a.Origin != 0 {
+			m[a.Origin] += a.Size()
+		}
+	}
+	out := make([]int, 0, len(m))
+	for _, n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

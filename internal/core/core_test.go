@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"repro/internal/aspath"
+)
+
+func snapFrom(t *testing.T, vps int, rows [][]string) *Snapshot {
+	t.Helper()
+	vpList := make([]VP, vps)
+	for i := range vpList {
+		vpList[i] = VP{Collector: "rrc00", ASN: uint32(100 + i)}
+	}
+	prefixes := make([]netip.Prefix, len(rows))
+	for i := range rows {
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+	}
+	s := NewSnapshot(1000, vpList, prefixes)
+	for p, row := range rows {
+		if len(row) != vps {
+			t.Fatalf("row %d has %d entries, want %d", p, len(row), vps)
+		}
+		for v, str := range row {
+			if str == "" {
+				continue
+			}
+			seq, err := aspath.ParseSeq(str)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetRoute(p, v, seq)
+		}
+	}
+	return s
+}
+
+func TestComputeAtomsGrouping(t *testing.T) {
+	// Prefixes 0,1 share vectors; 2 differs at one VP; 3 missing at VP1.
+	s := snapFrom(t, 2, [][]string{
+		{"100 200 300", "101 200 300"},
+		{"100 200 300", "101 200 300"},
+		{"100 200 300", "101 201 300"},
+		{"100 200 300", ""},
+	})
+	as := ComputeAtoms(s)
+	if len(as.Atoms) != 3 {
+		t.Fatalf("atoms = %d, want 3", len(as.Atoms))
+	}
+	if as.ByPrefix[0] != as.ByPrefix[1] {
+		t.Error("prefixes 0,1 should share an atom")
+	}
+	if as.ByPrefix[2] == as.ByPrefix[0] || as.ByPrefix[3] == as.ByPrefix[0] || as.ByPrefix[2] == as.ByPrefix[3] {
+		t.Error("prefixes 2,3 should be singleton atoms")
+	}
+	for i := range as.Atoms {
+		a := &as.Atoms[i]
+		if a.Origin != 300 {
+			t.Errorf("atom %d origin = %d", i, a.Origin)
+		}
+		if a.MOASConflict {
+			t.Errorf("atom %d flagged MOAS", i)
+		}
+	}
+}
+
+func TestComputeAtomsMOAS(t *testing.T) {
+	s := snapFrom(t, 2, [][]string{
+		{"100 200 300", "101 200 999"}, // origins disagree: MOAS
+		{"100 200 300", "101 200 300"},
+	})
+	as := ComputeAtoms(s)
+	var moas int
+	for i := range as.Atoms {
+		if as.Atoms[i].MOASConflict {
+			moas++
+			// Majority tie (1 vs 1): lowest origin wins deterministically.
+			if as.Atoms[i].Origin != 300 {
+				t.Errorf("tie-broken origin = %d", as.Atoms[i].Origin)
+			}
+		}
+	}
+	if moas != 1 {
+		t.Errorf("MOAS atoms = %d", moas)
+	}
+	st := as.Stats()
+	if st.MOASPrefixes != 1 {
+		t.Errorf("MOAS prefixes = %d", st.MOASPrefixes)
+	}
+}
+
+func TestComputeAtomsAllEmptyRow(t *testing.T) {
+	s := snapFrom(t, 2, [][]string{
+		{"", ""},
+		{"100 1", "101 1"},
+	})
+	as := ComputeAtoms(s)
+	if len(as.Atoms) != 2 {
+		t.Fatalf("atoms = %d", len(as.Atoms))
+	}
+	invisible := as.Atoms[as.ByPrefix[0]]
+	if invisible.Origin != 0 || invisible.MOASConflict {
+		t.Errorf("invisible atom origin = %d", invisible.Origin)
+	}
+	// Stats must not count origin-0 atoms as an AS.
+	if st := as.Stats(); st.ASes != 1 {
+		t.Errorf("ASes = %d", st.ASes)
+	}
+}
+
+func TestStats(t *testing.T) {
+	// AS 1: two atoms (sizes 2,1); AS 2: one atom (size 1).
+	s := snapFrom(t, 1, [][]string{
+		{"100 1"},
+		{"100 1"},
+		{"100 200 1"},
+		{"100 2"},
+	})
+	as := ComputeAtoms(s)
+	st := as.Stats()
+	if st.Prefixes != 4 || st.Atoms != 3 || st.ASes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SingleAtomASes != 1 {
+		t.Errorf("single-atom ASes = %d", st.SingleAtomASes)
+	}
+	if st.SinglePrefixAtoms != 2 {
+		t.Errorf("single-prefix atoms = %d", st.SinglePrefixAtoms)
+	}
+	if st.MeanAtomSize < 1.32 || st.MeanAtomSize > 1.34 {
+		t.Errorf("mean = %v", st.MeanAtomSize)
+	}
+	if st.LargestAtom != 2 {
+		t.Errorf("largest = %d", st.LargestAtom)
+	}
+	if st.MOASPrefixes != 0 {
+		t.Errorf("MOAS = %d", st.MOASPrefixes)
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	s := snapFrom(t, 1, [][]string{
+		{"100 1"},
+		{"100 1"},
+		{"100 200 1"},
+		{"100 2"},
+	})
+	as := ComputeAtoms(s)
+	if got := as.AtomsPerASCounts(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("atoms/AS = %v", got)
+	}
+	if got := as.PrefixesPerAtomCounts(); len(got) != 3 || got[2] != 2 {
+		t.Errorf("prefixes/atom = %v", got)
+	}
+	if got := as.PrefixesPerASCounts(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("prefixes/AS = %v", got)
+	}
+}
+
+func TestByOriginAndPrefixSet(t *testing.T) {
+	s := snapFrom(t, 1, [][]string{
+		{"100 1"},
+		{"100 200 1"},
+		{"100 2"},
+	})
+	as := ComputeAtoms(s)
+	by := as.ByOrigin()
+	if len(by[1]) != 2 || len(by[2]) != 1 {
+		t.Errorf("ByOrigin = %v", by)
+	}
+	ps := as.PrefixSet(as.ByPrefix[0])
+	if len(ps) != 1 || ps[0] != s.Prefixes[0] {
+		t.Errorf("PrefixSet = %v", ps)
+	}
+}
+
+func TestVisibleVPs(t *testing.T) {
+	s := snapFrom(t, 3, [][]string{
+		{"100 1", "", "102 1"},
+	})
+	if got := s.VisibleVPs(0); got != 2 {
+		t.Errorf("VisibleVPs = %d", got)
+	}
+	if got := s.Route(0, 1); got != nil {
+		t.Errorf("missing route = %v", got)
+	}
+	if got := s.Route(0, 0); !got.Equal(aspath.Seq{100, 1}) {
+		t.Errorf("route = %v", got)
+	}
+}
+
+// TestComputeAtomsProperty checks the partition invariants on random
+// snapshots: atoms partition all prefixes; two prefixes share an atom
+// iff their route vectors are identical.
+func TestComputeAtomsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 30; iter++ {
+		nVP := 1 + r.Intn(5)
+		nPfx := 1 + r.Intn(60)
+		vps := make([]VP, nVP)
+		for i := range vps {
+			vps[i] = VP{Collector: "c", ASN: uint32(i)}
+		}
+		prefixes := make([]netip.Prefix, nPfx)
+		for i := range prefixes {
+			prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(iter), byte(i), 0}), 24)
+		}
+		s := NewSnapshot(0, vps, prefixes)
+		// Small path alphabet so collisions happen.
+		paths := []aspath.Seq{nil, {1, 9}, {2, 9}, {1, 2, 9}, {3, 8}}
+		for p := 0; p < nPfx; p++ {
+			for v := 0; v < nVP; v++ {
+				s.SetRoute(p, v, paths[r.Intn(len(paths))])
+			}
+		}
+		as := ComputeAtoms(s)
+		// Partition: every prefix in exactly one atom.
+		seen := make([]int, nPfx)
+		total := 0
+		for i := range as.Atoms {
+			for _, p := range as.Atoms[i].Prefixes {
+				seen[p]++
+				total++
+			}
+		}
+		if total != nPfx {
+			t.Fatalf("iter %d: partition covers %d/%d", iter, total, nPfx)
+		}
+		for p, n := range seen {
+			if n != 1 {
+				t.Fatalf("iter %d: prefix %d in %d atoms", iter, p, n)
+			}
+		}
+		// Same atom ⟺ same vector.
+		for a := 0; a < nPfx; a++ {
+			for b := a + 1; b < nPfx; b++ {
+				same := as.ByPrefix[a] == as.ByPrefix[b]
+				eq := true
+				for v := 0; v < nVP; v++ {
+					if s.Routes[a][v] != s.Routes[b][v] {
+						eq = false
+						break
+					}
+				}
+				if same != eq {
+					t.Fatalf("iter %d: prefixes %d,%d same=%v eq=%v", iter, a, b, same, eq)
+				}
+			}
+		}
+	}
+}
+
+func TestVPString(t *testing.T) {
+	if got := (VP{Collector: "rrc00", ASN: 3356}).String(); got != "rrc00/AS3356" {
+		t.Errorf("VP.String = %q", got)
+	}
+}

@@ -1,0 +1,246 @@
+// Package dynamics implements the paper's §7.2 proposal: using policy
+// atoms as a lens on BGP dynamics. Because prefixes inside an atom have
+// a high likelihood of changing AS path together, an update burst that
+// covers an entire atom reflects a policy change or network event,
+// whereas churn touching one prefix of a multi-prefix atom is far more
+// likely noise — a flap, a leak, or a transient misconfiguration.
+//
+// The classifier consumes a computed AtomSet and an update stream and
+// produces per-event verdicts plus a per-atom event history, from which
+// it derives "historically stable atom" priorities. The simulator's
+// ground-truth event labels make the classifier's precision directly
+// testable (see dynamics_test.go).
+package dynamics
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Kind classifies one observed routing event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindAtomEvent: the update covered the atom (or nearly all of it) —
+	// a policy change or network event affecting the whole atom.
+	KindAtomEvent Kind = iota + 1
+	// KindPartialEvent: a strict subset of a multi-prefix atom moved —
+	// possible atom split in progress, worth watching.
+	KindPartialEvent
+	// KindNoise: isolated single-prefix churn inside a multi-prefix
+	// atom, most likely a flap or transient leak.
+	KindNoise
+	// KindSingleton: activity on a single-prefix atom — indistinguishable
+	// from policy by structure alone; classified by repetition.
+	KindSingleton
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAtomEvent:
+		return "atom-event"
+	case KindPartialEvent:
+		return "partial"
+	case KindNoise:
+		return "noise"
+	case KindSingleton:
+		return "singleton"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one classified (atom, record) incidence.
+type Event struct {
+	AtomID    int
+	Timestamp uint32
+	Kind      Kind
+	// Covered / Size: how much of the atom the record carried.
+	Covered, Size int
+	Withdraw      bool
+	Collector     string
+	PeerASN       uint32
+}
+
+// Options tunes the classifier.
+type Options struct {
+	// FullCoverage is the atom-coverage fraction at or above which a
+	// record counts as an atom event (1.0 = exact; the default 0.9
+	// tolerates one missing prefix in large atoms).
+	FullCoverage float64
+	// NoiseRepeat: a prefix flapping at this many distinct instants
+	// within the window is noise even when its atom is a singleton.
+	// Repetition counts distinct timestamps, not records: one event is
+	// reported by every vantage point at once and must count once.
+	NoiseRepeat int
+}
+
+// DefaultOptions returns the calibrated defaults.
+func DefaultOptions() Options {
+	return Options{FullCoverage: 0.9, NoiseRepeat: 3}
+}
+
+// Report summarizes a classified stream.
+type Report struct {
+	Events []Event
+	// PerAtom aggregates by atom ID.
+	PerAtom map[int]*AtomHistory
+	// Counts by kind.
+	AtomEvents, Partials, Noise, Singletons int
+}
+
+// AtomHistory is one atom's event record over the window.
+type AtomHistory struct {
+	AtomID     int
+	Size       int
+	AtomEvents int
+	Partials   int
+	Noise      int
+}
+
+// StabilityScore orders atoms by how trustworthy their signal is: atoms
+// that only ever move in full are high-signal; atoms dominated by noise
+// are low-signal. Range (0,1].
+func (h *AtomHistory) StabilityScore() float64 {
+	total := h.AtomEvents + h.Partials + h.Noise
+	if total == 0 {
+		return 1
+	}
+	return float64(h.AtomEvents+1) / float64(total+1)
+}
+
+// Classify runs the lens over update records.
+func Classify(as *core.AtomSet, records []metrics.UpdateRecord, opts Options) *Report {
+	if opts.FullCoverage <= 0 {
+		opts.FullCoverage = 0.9
+	}
+	if opts.NoiseRepeat <= 0 {
+		opts.NoiseRepeat = 3
+	}
+	atomOf := make(map[netip.Prefix]int, len(as.Snap.Prefixes))
+	for p, pfx := range as.Snap.Prefixes {
+		atomOf[pfx] = as.ByPrefix[p]
+	}
+
+	// First pass: per-prefix distinct event instants (flap detection).
+	// A single routing event reaches the collector through every vantage
+	// point at the same moment; counting records would misread fan-out
+	// as flapping.
+	prefixTimes := map[netip.Prefix]map[uint32]struct{}{}
+	for _, r := range records {
+		for _, pfx := range r.Prefixes {
+			if _, ok := atomOf[pfx]; !ok {
+				continue
+			}
+			ts := prefixTimes[pfx]
+			if ts == nil {
+				ts = map[uint32]struct{}{}
+				prefixTimes[pfx] = ts
+			}
+			ts[r.Timestamp] = struct{}{}
+		}
+	}
+	prefixHits := make(map[netip.Prefix]int, len(prefixTimes))
+	for pfx, ts := range prefixTimes {
+		prefixHits[pfx] = len(ts)
+	}
+
+	rep := &Report{PerAtom: map[int]*AtomHistory{}}
+	hits := map[int]int{}
+	repeats := map[int]bool{}
+	for _, r := range records {
+		clear(hits)
+		clear(repeats)
+		for _, pfx := range r.Prefixes {
+			aid, ok := atomOf[pfx]
+			if !ok {
+				continue
+			}
+			hits[aid]++
+			if prefixHits[pfx] >= opts.NoiseRepeat {
+				repeats[aid] = true
+			}
+		}
+		for aid, n := range hits {
+			size := as.Atoms[aid].Size()
+			ev := Event{
+				AtomID: aid, Timestamp: r.Timestamp,
+				Covered: n, Size: size,
+				Collector: r.Collector, PeerASN: r.PeerASN,
+			}
+			switch {
+			case size == 1:
+				if repeats[aid] {
+					ev.Kind = KindNoise
+				} else {
+					ev.Kind = KindSingleton
+				}
+			case float64(n) >= opts.FullCoverage*float64(size):
+				ev.Kind = KindAtomEvent
+			case n == 1:
+				ev.Kind = KindNoise
+			default:
+				ev.Kind = KindPartialEvent
+			}
+			rep.add(ev)
+		}
+	}
+	return rep
+}
+
+func (rep *Report) add(ev Event) {
+	rep.Events = append(rep.Events, ev)
+	h := rep.PerAtom[ev.AtomID]
+	if h == nil {
+		h = &AtomHistory{AtomID: ev.AtomID, Size: ev.Size}
+		rep.PerAtom[ev.AtomID] = h
+	}
+	switch ev.Kind {
+	case KindAtomEvent:
+		rep.AtomEvents++
+		h.AtomEvents++
+	case KindPartialEvent:
+		rep.Partials++
+		h.Partials++
+	case KindNoise:
+		rep.Noise++
+		h.Noise++
+	case KindSingleton:
+		rep.Singletons++
+	}
+}
+
+// Prioritized returns atoms that experienced atom-level events, ordered
+// by stability score (most trustworthy signal first) — the paper's
+// "prioritize events that affect historically stable atoms".
+func (rep *Report) Prioritized() []*AtomHistory {
+	var out []*AtomHistory
+	for _, h := range rep.PerAtom {
+		if h.AtomEvents > 0 {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].StabilityScore(), out[j].StabilityScore()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].AtomID < out[j].AtomID
+	})
+	return out
+}
+
+// NoiseShare returns the fraction of incidences classified as noise —
+// the volume the filter would suppress.
+func (rep *Report) NoiseShare() float64 {
+	total := len(rep.Events)
+	if total == 0 {
+		return 0
+	}
+	return float64(rep.Noise) / float64(total)
+}

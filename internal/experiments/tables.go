@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/longitudinal"
+	"repro/internal/metrics"
+	"repro/internal/sanitize"
+	"repro/internal/textplot"
+	"repro/internal/topology"
+)
+
+// Table1 regenerates the general statistics comparison (paper Table 1).
+func Table1(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 1: general statistics of atoms, Jan 2004 vs Oct 2024")
+	r04, err := longitudinal.RunEra(cfg, era2004)
+	if err != nil {
+		return err
+	}
+	r24, err := longitudinal.RunEra(cfg, era2024)
+	if err != nil {
+		return err
+	}
+	s04, s24 := r04.Stats, r24.Stats
+	tbl := &textplot.Table{Headers: []string{"Metric", "Jan 2004", "Oct 2024", "paper 2004", "paper 2024"}}
+	pct := func(n, d int) string { return fmt.Sprintf("%d (%.1f%%)", n, 100*float64(n)/float64(d)) }
+	tbl.AddRow("Number of prefixes", fmt.Sprint(s04.Prefixes), fmt.Sprint(s24.Prefixes), "131,526", "1,028,444")
+	tbl.AddRow("Number of ASes", fmt.Sprint(s04.ASes), fmt.Sprint(s24.ASes), "16,490", "76,672")
+	tbl.AddRow("ASes with one atom", pct(s04.SingleAtomASes, s04.ASes), pct(s24.SingleAtomASes, s24.ASes), "9,818 (59.5%)", "31,009 (40.4%)")
+	tbl.AddRow("Number of atoms", fmt.Sprint(s04.Atoms), fmt.Sprint(s24.Atoms), "34,261", "483,117")
+	tbl.AddRow("Atoms with one prefix", pct(s04.SinglePrefixAtoms, s04.Atoms), pct(s24.SinglePrefixAtoms, s24.Atoms), "19,772 (57.7%)", "355,197 (73.5%)")
+	tbl.AddRow("Mean atom size", fmt.Sprintf("%.2f", s04.MeanAtomSize), fmt.Sprintf("%.2f", s24.MeanAtomSize), "3.84", "2.13")
+	tbl.AddRow("99th pct atom size", fmt.Sprint(s04.P99AtomSize), fmt.Sprint(s24.P99AtomSize), "40", "17")
+	tbl.AddRow("Largest atom size", fmt.Sprint(s04.LargestAtom), fmt.Sprint(s24.LargestAtom), "1,020", "3,072")
+	tbl.Render(w)
+	note(w, "absolute counts scale with -scale=%.3g; shape comparisons: prefix growth ×%.1f (paper ×7.8), atom growth ×%.1f (paper ×14.1), mean size %.2f→%.2f (paper 3.84→2.13)",
+		cfg.Scale,
+		float64(s24.Prefixes)/float64(s04.Prefixes),
+		float64(s24.Atoms)/float64(s04.Atoms),
+		s04.MeanAtomSize, s24.MeanAtomSize)
+	return nil
+}
+
+// Table2 regenerates the formation-distance distribution (paper Table 2).
+func Table2(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 2: formation distance distribution, 2004 vs 2024")
+	r04, err := longitudinal.RunEra(cfg, era2004)
+	if err != nil {
+		return err
+	}
+	r24, err := longitudinal.RunEra(cfg, era2024)
+	if err != nil {
+		return err
+	}
+	paper04 := []string{"", "45%", "30%", "17%", "6%"}
+	paper24 := []string{"", "20%", "30%", "33%", "12%"}
+	tbl := &textplot.Table{Headers: []string{"", "2004", "2024", "paper 2004", "paper 2024"}}
+	share := func(r *metrics.FormationResult, d int) string {
+		return textplot.Percent(float64(r.AtomsAtDistance[d]) / float64(r.TotalAtoms))
+	}
+	for d := 1; d <= 4; d++ {
+		tbl.AddRow(fmt.Sprintf("Atom formed at dist %d", d),
+			share(r04.Formation, d), share(r24.Formation, d), paper04[d], paper24[d])
+	}
+	tbl.Render(w)
+	f04, f24 := r04.Formation, r24.Formation
+	note(w, "2004 distance-1 breakdown: single-atom AS %d, unique peers %d, prepending %d (of %d atoms)",
+		f04.D1SingleAtom, f04.D1UniquePeers, f04.D1Prepend, f04.TotalAtoms)
+	note(w, "2024 distance-1 breakdown: single-atom AS %d, unique peers %d, prepending %d (of %d atoms)",
+		f24.D1SingleAtom, f24.D1UniquePeers, f24.D1Prepend, f24.TotalAtoms)
+	return nil
+}
+
+// Table3 regenerates the stability comparison (paper Table 3).
+func Table3(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 3: stability of atoms, Jan 2004 vs Oct 2024")
+	r04, err := longitudinal.RunEra(cfg, era2004)
+	if err != nil {
+		return err
+	}
+	r24, err := longitudinal.RunEra(cfg, era2024)
+	if err != nil {
+		return err
+	}
+	tbl := &textplot.Table{Headers: []string{"", "2004 CAM", "2004 MPM", "2024 CAM", "2024 MPM", "paper 04", "paper 24"}}
+	row := func(name string, a, b metrics.Stability, p04, p24 string) {
+		tbl.AddRow(name, textplot.Percent(a.CAM), textplot.Percent(a.MPM),
+			textplot.Percent(b.CAM), textplot.Percent(b.MPM), p04, p24)
+	}
+	row("After 8 hours", r04.Stab8h, r24.Stab8h, "96.3/98.3", "83.7/90.6")
+	row("After 24 hours", r04.Stab24h, r24.Stab24h, "91.4/95.0", "79.3/87.2")
+	row("After 1 week", r04.Stab1w, r24.Stab1w, "80.3/88.8", "71.9/80.1")
+	tbl.Render(w)
+	note(w, "paper columns are CAM/MPM percent; shape checks: 2024 less stable than 2004 at every horizon, MPM above CAM, fast-then-flat decay")
+	return nil
+}
+
+// Table4 regenerates the IPv4/IPv6 comparison (paper Table 4).
+func Table4(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 4: general statistics, IPv4 2024 vs IPv6 2024 vs IPv6 2011")
+	v4cfg := cfg
+	v4cfg.Family = 4
+	r4, err := longitudinal.RunEra(v4cfg, era2024)
+	if err != nil {
+		return err
+	}
+	v6cfg := cfg
+	v6cfg.Family = 6
+	r6, err := longitudinal.RunEra(v6cfg, era2024)
+	if err != nil {
+		return err
+	}
+	r611, err := longitudinal.RunEra(v6cfg, era2011)
+	if err != nil {
+		return err
+	}
+	pct := func(n, d int) string {
+		if d == 0 {
+			return "0"
+		}
+		return fmt.Sprintf("%d (%.1f%%)", n, 100*float64(n)/float64(d))
+	}
+	tbl := &textplot.Table{Headers: []string{"Metric", "v4 2024", "v6 2024", "v6 2011", "paper v4-24", "paper v6-24", "paper v6-11"}}
+	s4, s6, s11 := r4.Stats, r6.Stats, r611.Stats
+	tbl.AddRow("Number of prefixes", fmt.Sprint(s4.Prefixes), fmt.Sprint(s6.Prefixes), fmt.Sprint(s11.Prefixes), "1,028,444", "227,363", "4,178")
+	tbl.AddRow("Number of ASes", fmt.Sprint(s4.ASes), fmt.Sprint(s6.ASes), fmt.Sprint(s11.ASes), "76,672", "34,164", "2,938")
+	tbl.AddRow("Single-atom ASes", pct(s4.SingleAtomASes, s4.ASes), pct(s6.SingleAtomASes, s6.ASes), pct(s11.SingleAtomASes, s11.ASes), "40.4%", "65.3%", "87.1%")
+	tbl.AddRow("Number of atoms", fmt.Sprint(s4.Atoms), fmt.Sprint(s6.Atoms), fmt.Sprint(s11.Atoms), "483,117", "94,494", "3,486")
+	tbl.AddRow("Single-prefix atoms", pct(s4.SinglePrefixAtoms, s4.Atoms), pct(s6.SinglePrefixAtoms, s6.Atoms), pct(s11.SinglePrefixAtoms, s11.Atoms), "73.5%", "77.6%", "92.5%")
+	tbl.AddRow("Mean atom size", fmt.Sprintf("%.2f", s4.MeanAtomSize), fmt.Sprintf("%.2f", s6.MeanAtomSize), fmt.Sprintf("%.2f", s11.MeanAtomSize), "2.13", "2.41", "1.20")
+	tbl.AddRow("99th pct atom size", fmt.Sprint(s4.P99AtomSize), fmt.Sprint(s6.P99AtomSize), fmt.Sprint(s11.P99AtomSize), "17", "20", "3")
+	tbl.AddRow("Largest atom size", fmt.Sprint(s4.LargestAtom), fmt.Sprint(s6.LargestAtom), fmt.Sprint(s11.LargestAtom), "3,072", "2,317", "32")
+	tbl.Render(w)
+	note(w, "shape checks: v6 matures 2011→2024 (mean size up, single-atom share down); v6 single-atom share above v4")
+	return nil
+}
+
+// Table5 reproduces the abnormal-peer removal list (paper Table 5 /
+// §A8.3) over an era with injected artifacts.
+func Table5(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 5: abnormal BGP peers removed (injected artifacts vs detected)")
+	cfg.Artifacts = true
+	r := longitudinal.NewEraRun(cfg, topology.EraOf(2022, 1))
+	_, rep, err := r.SnapshotAt(longitudinal.OffsetBase)
+	if err != nil {
+		return err
+	}
+	// Ground truth from the infrastructure.
+	truth := map[uint32]string{}
+	for _, cp := range r.Infra.AllPeers() {
+		if cp.Peer.Artifact != 0 {
+			truth[cp.Peer.ASN] = cp.Peer.Artifact.String()
+		}
+	}
+	tbl := &textplot.Table{Headers: []string{"Peer ASN", "Injected defect", "Detected as"}}
+	var asns []uint32
+	for asn := range truth {
+		asns = append(asns, asn)
+	}
+	for asn := range rep.RemovedPeerASes {
+		if _, ok := truth[asn]; !ok {
+			asns = append(asns, asn)
+		}
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		injected := truth[asn]
+		if injected == "" {
+			injected = "(none)"
+		}
+		detected := "NOT DETECTED"
+		if reason, ok := rep.RemovedPeerASes[asn]; ok {
+			detected = string(reason)
+		} else if injected == "stuck" {
+			detected = "(stale feed: silent, not removed — matches paper's per-case handling)"
+		}
+		tbl.AddRow(fmt.Sprint(asn), injected, detected)
+	}
+	tbl.Render(w)
+	note(w, "paper removed peers from 5 ASNs (4 ADD-PATH damaged, 1 private-ASN misconfigured); the simulator injects the same defect classes and the pipeline reports each removal with its reason")
+	return nil
+}
+
+// Table6 reproduces the 2002 stability numbers (paper Table 6).
+func Table6(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 6: reproduced 2002 stability vs Afek et al.'s published values")
+	cfg.Artifacts = false
+	r, err := longitudinal.RunEra(cfg, era2002)
+	if err != nil {
+		return err
+	}
+	tbl := &textplot.Table{Headers: []string{"Time span", "CAM", "MPM", "Afek CAM", "Afek MPM", "paper-repro CAM", "paper-repro MPM"}}
+	tbl.AddRow("8 hours", textplot.Percent(r.Stab8h.CAM), textplot.Percent(r.Stab8h.MPM), "95.3%", "97.7%", "94.2%", "97.5%")
+	tbl.AddRow("1 day", textplot.Percent(r.Stab24h.CAM), textplot.Percent(r.Stab24h.MPM), "91.6%", "97%", "91.8%", "96.2%")
+	tbl.AddRow("1 week", textplot.Percent(r.Stab1w.CAM), textplot.Percent(r.Stab1w.MPM), "77.5%", "86%", "77.6%", "87%")
+	tbl.Render(w)
+	st := r.Stats
+	note(w, "2002 snapshot: %d VPs (paper: 13 full feeds at rrc00), %d ASes, %d prefixes, %d atoms (paper: 12.5K / 115K / 26K)",
+		len(r.Atoms.Snap.VPs), st.ASes, st.Prefixes, st.Atoms)
+	return nil
+}
+
+// Table7 regenerates the visibility-threshold sensitivity grid (paper
+// Table 7) via the fast in-memory feeds.
+func Table7(cfg longitudinal.Config, w io.Writer) error {
+	header(w, "Table 7: admitted prefixes under [collectors x peer-AS] thresholds (Oct 2024)")
+	// Run the pipeline with thresholds 1/1 to index raw visibility,
+	// then count each grid cell over the same snapshot.
+	loose := sanitize.Defaults()
+	loose.Family = cfg.Family
+	if loose.Family == 0 {
+		loose.Family = 4
+	}
+	loose.MinCollectors, loose.MinPeerASes, loose.LengthFilter = 1, 1, false
+	looseCfg := cfg
+	looseCfg.Sanitize = &loose
+	lr := longitudinal.NewEraRun(looseCfg, era2024)
+	base, _, err := lr.SnapshotAt(longitudinal.OffsetBase)
+	if err != nil {
+		return err
+	}
+	snap := base.Snap
+	tbl := &textplot.Table{Headers: []string{"collectors \\ peerASes", "1", "2", "3", "4", "5"}}
+	for c := 1; c <= 3; c++ {
+		row := []string{fmt.Sprint(c)}
+		for a := 1; a <= 5; a++ {
+			n := 0
+			for p := range snap.Prefixes {
+				colls := map[string]struct{}{}
+				ases := map[uint32]struct{}{}
+				for v, id := range snap.Routes[p] {
+					if id != 0 {
+						colls[snap.VPs[v].Collector] = struct{}{}
+						ases[snap.VPs[v].ASN] = struct{}{}
+					}
+				}
+				if len(colls) >= c && len(ases) >= a {
+					n++
+				}
+			}
+			row = append(row, fmt.Sprint(n))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Render(w)
+	note(w, "paper's adopted cell: >=2 collectors, >=4 peer ASes (1,028,444 of 1,083,140 at the loosest cell); shape check: counts nearly flat across the grid, <1%% lost at the adopted cell")
+	return nil
+}

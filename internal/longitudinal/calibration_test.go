@@ -1,0 +1,50 @@
+package longitudinal
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestCalibrationLog prints the headline paper-facing numbers at test
+// scale — run with -v while tuning churn curves. Assertions here are
+// deliberately loose; the paper-shape checks live in the experiments
+// package.
+func TestCalibrationLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration log")
+	}
+	cfg := DefaultConfig(5)
+	cfg.Scale = 0.01
+	for _, era := range []topology.Era{topology.EraOf(2004, 1), topology.EraOf(2024, 4)} {
+		res, err := RunEra(cfg, era)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats
+		t.Logf("%v: prefixes=%d ASes=%d atoms=%d 1-atom-AS=%.1f%% 1-pfx-atoms=%.1f%% mean=%.2f p99=%d max=%d",
+			era, st.Prefixes, st.ASes, st.Atoms,
+			100*float64(st.SingleAtomASes)/float64(st.ASes),
+			100*float64(st.SinglePrefixAtoms)/float64(st.Atoms),
+			st.MeanAtomSize, st.P99AtomSize, st.LargestAtom)
+		f := res.Formation
+		tot := float64(f.TotalAtoms)
+		t.Logf("%v: formation d1=%.0f%% d2=%.0f%% d3=%.0f%% d4=%.0f%% (d1: single=%d unique=%d prepend=%d)",
+			era, 100*float64(f.AtomsAtDistance[1])/tot, 100*float64(f.AtomsAtDistance[2])/tot,
+			100*float64(f.AtomsAtDistance[3])/tot, 100*float64(f.AtomsAtDistance[4])/tot,
+			f.D1SingleAtom, f.D1UniquePeers, f.D1Prepend)
+		t.Logf("%v: CAM8h=%.1f%% MPM8h=%.1f%% CAM24h=%.1f%% MPM24h=%.1f%% CAM1w=%.1f%% MPM1w=%.1f%%",
+			era, 100*res.Stab8h.CAM, 100*res.Stab8h.MPM, 100*res.Stab24h.CAM,
+			100*res.Stab24h.MPM, 100*res.Stab1w.CAM, 100*res.Stab1w.MPM)
+		t.Logf("%v: corr atoms k2..5: %.0f%% %.0f%% %.0f%% %.0f%% | AS k2..5: %.0f%% %.0f%% %.0f%% %.0f%%",
+			era,
+			100*res.Corr.Atom[2].Pr(), 100*res.Corr.Atom[3].Pr(), 100*res.Corr.Atom[4].Pr(), 100*res.Corr.Atom[5].Pr(),
+			100*res.Corr.AS[2].Pr(), 100*res.Corr.AS[3].Pr(), 100*res.Corr.AS[4].Pr(), 100*res.Corr.AS[5].Pr())
+	}
+	study, err := RunSplits(cfg, topology.EraOf(2019, 1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("splits: events=%d ≤1VP=%.0f%% ≤3VP=%.0f%%",
+		study.CDF.Total, 100*study.CDF.FractionAtMost(1), 100*study.CDF.FractionAtMost(3))
+}

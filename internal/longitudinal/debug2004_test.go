@@ -1,0 +1,51 @@
+package longitudinal
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDebug2004(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Scale = 0.01
+	r := NewEraRun(cfg, topology.EraOf(2004, 1))
+	g := r.Graph
+	v4, v6 := g.TotalPrefixes()
+	multiGroup := 0
+	totOrigins := 0
+	for _, a := range g.OriginASes() {
+		v4groups := 0
+		for _, grp := range a.Groups {
+			if !grp.V6 {
+				v4groups++
+			}
+		}
+		if v4groups > 0 {
+			totOrigins++
+		}
+		if v4groups > 1 {
+			multiGroup++
+		}
+	}
+	t.Logf("graph: v4=%d v6=%d origins=%d multiGroupASes=%d VPs=%d", v4, v6, totOrigins, multiGroup, len(r.vps))
+	atoms, rep, err := r.SnapshotAt(OffsetBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("funnel: seen=%d admitted=%d byLen=%d byColl=%d byPeers=%d fullfeeds=%d removed=%v",
+		rep.PrefixesSeen, rep.PrefixesAdmitted, rep.DroppedByLength, rep.DroppedByCollector, rep.DroppedByPeerASes,
+		rep.FullFeeds, rep.RemovedPeerASes)
+	for _, f := range rep.Feeds {
+		t.Logf("feed %v: unique=%d full=%v", f.VP, f.UniquePrefixes, f.FullFeed)
+	}
+	// multi-group AS → atom count
+	by := atoms.ByOrigin()
+	multiAtom := 0
+	for _, ids := range by {
+		if len(ids) > 1 {
+			multiAtom++
+		}
+	}
+	t.Logf("atoms: total=%d origins=%d multiAtomASes=%d", len(atoms.Atoms), len(by), multiAtom)
+}

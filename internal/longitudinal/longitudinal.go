@@ -1,0 +1,373 @@
+// Package longitudinal drives the paper's per-quarter pipeline over the
+// simulated Internet: generate the era's topology, build the collector
+// infrastructure, synthesize RIB snapshots at the paper's offsets
+// (the 15th 8:00, 15th 16:00, 16th 8:00, 22nd 8:00), sanitize, compute
+// atoms, and run the four analyses — plus the daily-snapshot split
+// window of §4.4.1 and multi-era trend series (Figures 4, 5, 9, 11,
+// 12, 13).
+package longitudinal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bgp"
+	"repro/internal/bgpstream"
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/sanitize"
+	"repro/internal/topology"
+)
+
+// Config parameterizes a study.
+type Config struct {
+	Seed   uint64
+	Scale  float64
+	Family int // 4 or 6
+	// Artifacts injects the §A8.3 defects (on for the modern study).
+	Artifacts bool
+	// FastPath skips the MRT wire round-trip when building snapshots
+	// (provably equivalent; see collector.BuildFeeds).
+	FastPath bool
+	// Sanitize overrides the cleaning options (zero value → Defaults
+	// with Config.Family applied).
+	Sanitize *sanitize.Options
+	// Churn rate curves (events/day at paper scale, era-interpolated).
+	UnitEventRate      topology.Curve
+	VPEventRate        topology.Curve
+	PrefixMobileShare  topology.Curve
+	PrefixBaseMoveRate topology.Curve
+	FlapRate           topology.Curve
+	TransitFlipShare   float64
+	// VPShiftShare is the per-event share of prefixes a VP re-routes.
+	VPShiftShare float64
+	// FullMessageProb is the atom-level update packing probability.
+	FullMessageProb topology.Curve
+	// RefreshRate is the per-signature attribute-refresh rate.
+	RefreshRate topology.Curve
+	// MaxK bounds the update-correlation size axis.
+	MaxK int
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		Scale:              0.02,
+		Family:             4,
+		Artifacts:          true,
+		FastPath:           true,
+		UnitEventRate:      topology.Curve{V2002: 0.05, V2004: 0.05, V2024: 0.30},
+		VPEventRate:        topology.Curve{V2002: 0.10, V2004: 0.10, V2024: 0.30},
+		PrefixMobileShare:  topology.Curve{V2002: 0.008, V2004: 0.010, V2024: 0.130},
+		PrefixBaseMoveRate: topology.Curve{V2002: 0.003, V2004: 0.004, V2024: 0.006},
+		FlapRate:           topology.Curve{V2002: 0.05, V2004: 0.05, V2024: 0.15},
+		TransitFlipShare:   0.4,
+		VPShiftShare:       0.015,
+		FullMessageProb:    topology.Curve{V2002: 0.85, V2004: 0.84, V2024: 0.80},
+		RefreshRate:        topology.Curve{V2002: 2.0, V2004: 2.0, V2024: 3.0},
+		MaxK:               7,
+	}
+}
+
+// Snapshot offsets within a quarter, in days relative to the first
+// snapshot (the 15th at 8:00).
+const (
+	OffsetBase  = 10.0       // day-of-quarter anchor of the first snapshot
+	Offset8h    = 1.0 / 3.0  // 15th 16:00
+	Offset24h   = 1.0        // 16th 8:00
+	Offset1Week = 7.0        // 22nd 8:00
+	UpdateHours = 4.0 / 24.0 // §2.4.1: 4 hours of updates
+)
+
+// EraRun caches the per-era heavyweight state.
+type EraRun struct {
+	Cfg   Config
+	Era   topology.Era
+	Graph *topology.Graph
+	Infra *collector.Infra
+	Model routing.ChurnModel
+
+	vps      []uint32
+	warnings []bgpstream.Warning
+	warnOnce bool
+}
+
+// NewEraRun generates the era's world.
+func NewEraRun(cfg Config, era topology.Era) *EraRun {
+	if cfg.Family == 0 {
+		cfg.Family = 4
+	}
+	if cfg.MaxK == 0 {
+		cfg.MaxK = 7
+	}
+	tp := topology.DefaultParams(cfg.Seed)
+	if cfg.Scale > 0 {
+		tp.Scale = cfg.Scale
+	}
+	g := topology.Generate(tp, era)
+	// VP counts shrink slower than the world (Scale^0.4): the visibility
+	// thresholds (≥4 peer ASes) need a realistic vantage-point census.
+	ccfg := collector.Config{
+		Seed:      cfg.Seed + 1,
+		Artifacts: cfg.Artifacts,
+		VPScale:   math.Pow(tp.Scale, 0.4),
+	}
+	if era <= topology.EraOf(2002, 4) {
+		// The 2002 reproduction setting: rrc00 with 13 full feeds.
+		ccfg.ForceCollectors = 1
+		ccfg.ForceFullFeeds = 13
+		ccfg.Artifacts = false
+	}
+	in := collector.BuildInfra(g, ccfg)
+	model := routing.ChurnModel{
+		Seed:               cfg.Seed + 2,
+		UnitEventRate:      cfg.UnitEventRate.At(era),
+		VPEventRate:        cfg.VPEventRate.At(era),
+		PrefixMobileShare:  cfg.PrefixMobileShare.At(era),
+		PrefixBaseMoveRate: cfg.PrefixBaseMoveRate.At(era),
+		TransitFlipShare:   cfg.TransitFlipShare,
+		VPShiftShare:       cfg.VPShiftShare,
+		RefreshRate:        cfg.RefreshRate.At(era),
+	}
+	return &EraRun{Cfg: cfg, Era: era, Graph: g, Infra: in, Model: model, vps: in.FullFeedASNs()}
+}
+
+// sanitizeOptions resolves the effective cleaning options.
+func (r *EraRun) sanitizeOptions() sanitize.Options {
+	var opts sanitize.Options
+	if r.Cfg.Sanitize != nil {
+		opts = *r.Cfg.Sanitize
+	} else if r.Era <= topology.EraOf(2002, 4) {
+		opts = sanitize.Afek2002()
+	} else {
+		opts = sanitize.Defaults()
+	}
+	if opts.Family == 0 {
+		opts.Family = r.Cfg.Family
+	}
+	return opts
+}
+
+// timestamp converts a relative day offset to the snapshot Unix time.
+func (r *EraRun) timestamp(t float64) uint32 {
+	return collector.EpochOf(r.Era) + uint32((t-OffsetBase)*86400)
+}
+
+// SnapshotAt builds and sanitizes the snapshot at day offset t (days
+// since quarter start; the first paper snapshot is OffsetBase).
+func (r *EraRun) SnapshotAt(t float64) (*core.AtomSet, *sanitize.Report, error) {
+	ov := r.Model.OverlayAt(r.Graph, t, r.vps)
+	ts := r.timestamp(t)
+	warnings, err := r.updateWarnings()
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := r.sanitizeOptions()
+	var snap *core.Snapshot
+	var rep *sanitize.Report
+	if r.Cfg.FastPath {
+		feeds := collector.BuildFeeds(r.Graph, r.Infra, ov, ts)
+		snap, rep, err = sanitize.CleanFeeds(feeds, warnings, opts)
+	} else {
+		ribs := collector.BuildRIBs(r.Graph, r.Infra, ov, ts)
+		var sources []bgpstream.Source
+		for name, data := range ribs.Archives {
+			sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
+		}
+		snap, rep, err = sanitize.Clean(sources, warnings, opts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.ComputeAtoms(snap), rep, nil
+}
+
+// Updates synthesizes the update window starting at day offset t and
+// returns the per-message records.
+func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstream.Warning, error) {
+	cfg := collector.UpdateConfig{
+		Model:           r.Model,
+		FromT:           fromT,
+		ToT:             toT,
+		BaseTime:        r.timestamp(fromT),
+		FullMessageProb: r.Cfg.FullMessageProb.At(r.Era),
+		FlapRate:        r.Cfg.FlapRate.At(r.Era),
+	}
+	archives := collector.BuildUpdates(r.Graph, r.Infra, cfg)
+	var sources []bgpstream.Source
+	for name, data := range archives {
+		sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
+	}
+	filter := &bgpstream.Filter{
+		V4Only: r.Cfg.Family == 4,
+		V6Only: r.Cfg.Family == 6,
+	}
+	return metrics.CollectRecords(sources, filter)
+}
+
+// updateWarnings lazily computes the standard 4-hour update window's
+// parse warnings — the abnormal-peer signal fed into sanitization.
+func (r *EraRun) updateWarnings() ([]bgpstream.Warning, error) {
+	if r.warnOnce {
+		return r.warnings, nil
+	}
+	if !r.Cfg.Artifacts {
+		r.warnOnce = true
+		return nil, nil
+	}
+	_, warnings, err := r.Updates(OffsetBase, OffsetBase+UpdateHours)
+	if err != nil {
+		return nil, err
+	}
+	r.warnings = warnings
+	r.warnOnce = true
+	return warnings, nil
+}
+
+// EraResult is the full per-era analysis (one column of Tables 1–3).
+type EraResult struct {
+	Era       topology.Era
+	Stats     core.GeneralStats
+	Report    *sanitize.Report
+	Formation *metrics.FormationResult
+	Stab8h    metrics.Stability
+	Stab24h   metrics.Stability
+	Stab1w    metrics.Stability
+	Corr      *metrics.UpdateCorrelation
+	Atoms     *core.AtomSet
+}
+
+// RunEra executes the complete per-era pipeline.
+func RunEra(cfg Config, era topology.Era) (*EraResult, error) {
+	r := NewEraRun(cfg, era)
+	base, rep, err := r.SnapshotAt(OffsetBase)
+	if err != nil {
+		return nil, fmt.Errorf("longitudinal: base snapshot: %w", err)
+	}
+	s8, _, err := r.SnapshotAt(OffsetBase + Offset8h)
+	if err != nil {
+		return nil, err
+	}
+	s24, _, err := r.SnapshotAt(OffsetBase + Offset24h)
+	if err != nil {
+		return nil, err
+	}
+	s1w, _, err := r.SnapshotAt(OffsetBase + Offset1Week)
+	if err != nil {
+		return nil, err
+	}
+	records, _, err := r.Updates(OffsetBase, OffsetBase+UpdateHours)
+	if err != nil {
+		return nil, err
+	}
+	return &EraResult{
+		Era:       era,
+		Stats:     base.Stats(),
+		Report:    rep,
+		Formation: metrics.FormationDistances(base, metrics.DefaultFormationOptions()),
+		Stab8h:    metrics.CompareStability(base, s8),
+		Stab24h:   metrics.CompareStability(base, s24),
+		Stab1w:    metrics.CompareStability(base, s1w),
+		Corr:      metrics.CorrelateUpdates(base, records, cfg.MaxK),
+		Atoms:     base,
+	}, nil
+}
+
+// TrendPoint is one era's condensed numbers for the trend figures.
+type TrendPoint struct {
+	Era topology.Era
+	// FormationShare[d] is the share of atoms formed at distance d
+	// (Fig 4/11 solid); FormationShareMulti excludes single-atom ASes
+	// (dashed).
+	FormationShare      []float64
+	FormationShareMulti []float64
+	CAM8h, MPM8h        float64
+	CAM1w, MPM1w        float64
+	FullFeeds           int
+	FullFeedThreshold   int
+	Stats               core.GeneralStats
+}
+
+// RunTrend runs the pipeline across eras (Figures 4, 5, 9, 11, 12, 13).
+func RunTrend(cfg Config, eras []topology.Era) ([]TrendPoint, error) {
+	var out []TrendPoint
+	for _, era := range eras {
+		r := NewEraRun(cfg, era)
+		base, rep, err := r.SnapshotAt(OffsetBase)
+		if err != nil {
+			return nil, err
+		}
+		s8, _, err := r.SnapshotAt(OffsetBase + Offset8h)
+		if err != nil {
+			return nil, err
+		}
+		s1w, _, err := r.SnapshotAt(OffsetBase + Offset1Week)
+		if err != nil {
+			return nil, err
+		}
+		form := metrics.FormationDistances(base, metrics.DefaultFormationOptions())
+		st8 := metrics.CompareStability(base, s8)
+		st1w := metrics.CompareStability(base, s1w)
+		tp := TrendPoint{
+			Era:               era,
+			CAM8h:             st8.CAM,
+			MPM8h:             st8.MPM,
+			CAM1w:             st1w.CAM,
+			MPM1w:             st1w.MPM,
+			FullFeeds:         rep.FullFeeds,
+			FullFeedThreshold: rep.FullFeedThreshold,
+			Stats:             base.Stats(),
+		}
+		tp.FormationShare = shares(form.AtomsAtDistance, form.TotalAtoms)
+		multiTotal := 0
+		for _, n := range form.AtomsAtDistanceMultiAtom {
+			multiTotal += n
+		}
+		tp.FormationShareMulti = shares(form.AtomsAtDistanceMultiAtom, multiTotal)
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+func shares(counts []int, total int) []float64 {
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, n := range counts {
+		out[i] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// SplitStudy is the §4.4.1 daily-snapshot analysis output.
+type SplitStudy struct {
+	Days []metrics.DayBreakdown
+	CDF  metrics.ObserverCDF
+}
+
+// RunSplits processes days+2 daily snapshots starting at the era's
+// anchor and aggregates split events and their observers (Fig 6/7/16).
+func RunSplits(cfg Config, era topology.Era, days int) (*SplitStudy, error) {
+	r := NewEraRun(cfg, era)
+	snaps := make([]*core.AtomSet, days+2)
+	for d := 0; d < days+2; d++ {
+		s, _, err := r.SnapshotAt(OffsetBase + float64(d))
+		if err != nil {
+			return nil, err
+		}
+		snaps[d] = s
+	}
+	study := &SplitStudy{}
+	var all []metrics.SplitEvent
+	for d := 0; d+2 < len(snaps); d++ {
+		events := metrics.DetectSplits(snaps[d], snaps[d+1], snaps[d+2])
+		study.Days = append(study.Days, metrics.BreakdownDay(d, events))
+		all = append(all, events...)
+	}
+	study.CDF = metrics.BuildObserverCDF(all)
+	return study, nil
+}

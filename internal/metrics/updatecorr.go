@@ -1,0 +1,204 @@
+// Package metrics implements the paper's four analyses over computed
+// atoms: correlation of atom structure with BGP update records (§3.3),
+// formation distance with all three prepending-handling methods (§3.4),
+// stability via complete-atom match and maximized-prefix match (§3.5),
+// and atom-split detection with observer counting (§4.4.1).
+package metrics
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+
+	"repro/internal/bgpstream"
+	"repro/internal/core"
+	"repro/internal/prefixset"
+)
+
+// UpdateRecord is the prefix set of one BGP UPDATE message.
+type UpdateRecord struct {
+	Timestamp uint32
+	Collector string
+	PeerASN   uint32
+	Prefixes  []netip.Prefix
+}
+
+// CollectRecords drains update sources into per-message prefix sets
+// (announcements and withdrawals together, deduplicated).
+func CollectRecords(sources []bgpstream.Source, filter *bgpstream.Filter) ([]UpdateRecord, []bgpstream.Warning, error) {
+	s := bgpstream.NewStream(filter, sources...)
+	byMsg := map[int]*UpdateRecord{}
+	var order []int
+	for {
+		e, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if e.Type != bgpstream.ElemAnnounce && e.Type != bgpstream.ElemWithdraw {
+			continue
+		}
+		r := byMsg[e.MsgIndex]
+		if r == nil {
+			r = &UpdateRecord{Timestamp: e.Timestamp, Collector: e.Collector, PeerASN: e.PeerASN}
+			byMsg[e.MsgIndex] = r
+			order = append(order, e.MsgIndex)
+		}
+		p := prefixset.Canonical(e.Prefix)
+		if p.IsValid() {
+			r.Prefixes = append(r.Prefixes, p)
+		}
+	}
+	sort.Ints(order)
+	out := make([]UpdateRecord, 0, len(order))
+	for _, idx := range order {
+		r := byMsg[idx]
+		// Deduplicate within the record.
+		seen := make(map[netip.Prefix]struct{}, len(r.Prefixes))
+		uniq := r.Prefixes[:0]
+		for _, p := range r.Prefixes {
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			uniq = append(uniq, p)
+		}
+		r.Prefixes = uniq
+		out = append(out, *r)
+	}
+	return out, s.Warnings(), nil
+}
+
+// Ratio accumulates the full/partial counts behind one Pr_full(k) point.
+type Ratio struct {
+	All, Partial int
+}
+
+// Pr returns N_all / (N_all + N_partial), or -1 with no observations.
+func (r Ratio) Pr() float64 {
+	n := r.All + r.Partial
+	if n == 0 {
+		return -1
+	}
+	return float64(r.All) / float64(n)
+}
+
+// UpdateCorrelation is the Fig 3/10/15 dataset: for each entity size k,
+// how often an entity with ≥1 prefix in an update appeared in full.
+type UpdateCorrelation struct {
+	MaxK int
+	// Indexed 1..MaxK (index 0 unused).
+	Atom                []Ratio
+	AS                  []Ratio
+	ASMultiAtom         []Ratio // ASes with ≥1 atom of size >1
+	ASSinglePrefixAtoms []Ratio // ASes whose atoms are all single-prefix
+	Records             int
+}
+
+// CorrelateUpdates computes the likelihood of atoms and ASes being seen
+// in full within single update records (§3.3's formula).
+func CorrelateUpdates(as *core.AtomSet, records []UpdateRecord, maxK int) *UpdateCorrelation {
+	uc := &UpdateCorrelation{
+		MaxK:                maxK,
+		Atom:                make([]Ratio, maxK+1),
+		AS:                  make([]Ratio, maxK+1),
+		ASMultiAtom:         make([]Ratio, maxK+1),
+		ASSinglePrefixAtoms: make([]Ratio, maxK+1),
+		Records:             len(records),
+	}
+
+	// Prefix value → atom ID, and per-AS prefix grouping.
+	snap := as.Snap
+	atomOf := make(map[netip.Prefix]int, len(snap.Prefixes))
+	for p, pfx := range snap.Prefixes {
+		atomOf[pfx] = as.ByPrefix[p]
+	}
+	type asInfo struct {
+		id       int
+		size     int
+		allOne   bool // all atoms single-prefix
+		hasMulti bool // ≥1 atom with >1 prefix
+	}
+	asIndex := map[uint32]*asInfo{}
+	asOfPrefix := make([]int, len(snap.Prefixes)) // prefix idx → AS dense id
+	var asList []*asInfo
+	for i := range as.Atoms {
+		a := &as.Atoms[i]
+		if a.Origin == 0 {
+			continue
+		}
+		info := asIndex[a.Origin]
+		if info == nil {
+			info = &asInfo{id: len(asList), allOne: true}
+			asIndex[a.Origin] = info
+			asList = append(asList, info)
+		}
+		info.size += a.Size()
+		if a.Size() > 1 {
+			info.hasMulti = true
+			info.allOne = false
+		}
+		for _, p := range a.Prefixes {
+			asOfPrefix[p] = info.id
+		}
+	}
+
+	atomHits := make(map[int]int, 64)
+	asHits := make(map[int]int, 64)
+	pfxIdx := make(map[netip.Prefix]int, len(snap.Prefixes))
+	for p, pfx := range snap.Prefixes {
+		pfxIdx[pfx] = p
+	}
+
+	for _, rec := range records {
+		clear(atomHits)
+		clear(asHits)
+		for _, pfx := range rec.Prefixes {
+			aid, ok := atomOf[pfx]
+			if !ok {
+				continue
+			}
+			atomHits[aid]++
+			p := pfxIdx[pfx]
+			if as.Atoms[aid].Origin != 0 {
+				asHits[asOfPrefix[p]]++
+			}
+		}
+		for aid, hits := range atomHits {
+			size := as.Atoms[aid].Size()
+			if size < 1 || size > maxK {
+				continue
+			}
+			if hits >= size {
+				uc.Atom[size].All++
+			} else {
+				uc.Atom[size].Partial++
+			}
+		}
+		for did, hits := range asHits {
+			info := asList[did]
+			if info.size < 1 || info.size > maxK {
+				continue
+			}
+			full := hits >= info.size
+			tally(&uc.AS[info.size], full)
+			if info.hasMulti {
+				tally(&uc.ASMultiAtom[info.size], full)
+			}
+			if info.allOne && info.size > 1 {
+				tally(&uc.ASSinglePrefixAtoms[info.size], full)
+			}
+		}
+	}
+	return uc
+}
+
+func tally(r *Ratio, full bool) {
+	if full {
+		r.All++
+	} else {
+		r.Partial++
+	}
+}

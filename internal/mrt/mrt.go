@@ -1,0 +1,216 @@
+// Package mrt implements the MRT export format (RFC 6396) used by the
+// RIPE RIS and RouteViews archives, with the ADD-PATH extensions of
+// RFC 8050 — both reading and writing.
+//
+// Supported record types:
+//
+//   - TABLE_DUMP_V2: PEER_INDEX_TABLE, RIB_IPV4_UNICAST,
+//     RIB_IPV6_UNICAST, and their _ADDPATH variants — RIB snapshots.
+//   - BGP4MP / BGP4MP_ET: MESSAGE, MESSAGE_AS4, STATE_CHANGE(_AS4),
+//     and the _ADDPATH message variants — update streams.
+//
+// The low-level API is Record (raw header + body) via Reader/Writer; the
+// typed API decodes bodies into PeerIndexTable, RIB, and Message values.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MRT record types.
+const (
+	TypeTableDumpV2 uint16 = 13
+	TypeBGP4MP      uint16 = 16
+	TypeBGP4MPET    uint16 = 17
+)
+
+// TABLE_DUMP_V2 subtypes.
+const (
+	SubPeerIndexTable     uint16 = 1
+	SubRIBIPv4Unicast     uint16 = 2
+	SubRIBIPv4Multicast   uint16 = 3
+	SubRIBIPv6Unicast     uint16 = 4
+	SubRIBIPv6Multicast   uint16 = 5
+	SubRIBGeneric         uint16 = 6
+	SubRIBIPv4UnicastAP   uint16 = 8 // RFC 8050 ADD-PATH
+	SubRIBIPv4MulticastAP uint16 = 9
+	SubRIBIPv6UnicastAP   uint16 = 10
+	SubRIBIPv6MulticastAP uint16 = 11
+)
+
+// BGP4MP subtypes.
+const (
+	SubStateChange     uint16 = 0
+	SubMessage         uint16 = 1
+	SubMessageAS4      uint16 = 4
+	SubStateChangeAS4  uint16 = 5
+	SubMessageLocal    uint16 = 6
+	SubMessageAS4Local uint16 = 7
+	SubMessageAP       uint16 = 8 // RFC 8050 ADD-PATH
+	SubMessageAS4AP    uint16 = 9
+	SubMessageLocalAP  uint16 = 10
+	SubMessageAS4LocAP uint16 = 11
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncated    = errors.New("mrt: truncated record")
+	ErrBadRecord    = errors.New("mrt: malformed record")
+	ErrUnsupported  = errors.New("mrt: unsupported record type")
+	maxRecordLength = uint32(64 << 20) // 64 MiB sanity cap
+)
+
+// headerLen is the fixed MRT common header size.
+const headerLen = 12
+
+// Record is one raw MRT record: the common header plus the undecoded
+// body. BGP4MP_ET's extended timestamp is extracted into Micro.
+type Record struct {
+	Timestamp uint32
+	Micro     uint32 // microseconds, BGP4MP_ET only
+	Type      uint16
+	Subtype   uint16
+	Body      []byte
+}
+
+// IsRIB reports whether the record is a TABLE_DUMP_V2 RIB record
+// (unicast or multicast, either family, ADD-PATH or not).
+func (r Record) IsRIB() bool {
+	return r.Type == TypeTableDumpV2 && r.Subtype >= SubRIBIPv4Unicast && r.Subtype <= SubRIBIPv6MulticastAP && r.Subtype != SubRIBGeneric && r.Subtype != 7
+}
+
+// IsAddPath reports whether the record uses RFC 8050 ADD-PATH encoding.
+func (r Record) IsAddPath() bool {
+	switch r.Type {
+	case TypeTableDumpV2:
+		switch r.Subtype {
+		case SubRIBIPv4UnicastAP, SubRIBIPv4MulticastAP, SubRIBIPv6UnicastAP, SubRIBIPv6MulticastAP:
+			return true
+		}
+	case TypeBGP4MP, TypeBGP4MPET:
+		switch r.Subtype {
+		case SubMessageAP, SubMessageAS4AP, SubMessageLocalAP, SubMessageAS4LocAP:
+			return true
+		}
+	}
+	return false
+}
+
+// Writer emits MRT records to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer buffering onto w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteRecord emits one record. The first error encountered is sticky.
+func (w *Writer) WriteRecord(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	body := r.Body
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], r.Timestamp)
+	binary.BigEndian.PutUint16(hdr[4:6], r.Type)
+	binary.BigEndian.PutUint16(hdr[6:8], r.Subtype)
+	bodyLen := len(body)
+	et := r.Type == TypeBGP4MPET
+	if et {
+		bodyLen += 4
+	}
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(bodyLen))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if et {
+		var us [4]byte
+		binary.BigEndian.PutUint32(us[:], r.Micro)
+		if _, err := w.w.Write(us[:]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if _, err := w.w.Write(body); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush drains the buffer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Reader iterates MRT records from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream. A
+// stream ending mid-record returns ErrTruncated.
+func (r *Reader) Next() (Record, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	rec := Record{
+		Timestamp: binary.BigEndian.Uint32(hdr[0:4]),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+	}
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > maxRecordLength {
+		return Record{}, fmt.Errorf("%w: record length %d", ErrBadRecord, length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return Record{}, fmt.Errorf("%w: body: %v", ErrTruncated, err)
+	}
+	if rec.Type == TypeBGP4MPET {
+		if len(body) < 4 {
+			return Record{}, fmt.Errorf("%w: BGP4MP_ET microseconds", ErrTruncated)
+		}
+		rec.Micro = binary.BigEndian.Uint32(body[:4])
+		body = body[4:]
+	}
+	rec.Body = body
+	return rec, nil
+}
+
+// ReadAll drains the reader, returning every record.
+func ReadAll(rd io.Reader) ([]Record, error) {
+	r := NewReader(rd)
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,169 @@
+package prefixset
+
+import "net/netip"
+
+// Trie is a binary (radix) trie over prefixes, one per address family
+// internally, supporting exact lookup, longest-prefix match, and
+// covering/covered queries. It is the structure behind more-specific
+// detection (prefix fragmentation analysis) and aggregate checks.
+//
+// The zero value is ready to use. Trie is not safe for concurrent
+// mutation; concurrent readers are fine once populated.
+type Trie struct {
+	v4, v6 *trieNode
+	n      int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	// present marks a stored prefix terminating at this node.
+	present bool
+	prefix  netip.Prefix
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie) Len() int { return t.n }
+
+func (t *Trie) root(p netip.Prefix, alloc bool) **trieNode {
+	if p.Addr().Is4() {
+		if t.v4 == nil && alloc {
+			t.v4 = &trieNode{}
+		}
+		return &t.v4
+	}
+	if t.v6 == nil && alloc {
+		t.v6 = &trieNode{}
+	}
+	return &t.v6
+}
+
+// bitAt returns bit i (0 = most significant) of the address.
+func bitAt(a netip.Addr, i int) int {
+	b := a.AsSlice()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// Insert adds p to the trie. It reports whether p was newly added.
+// Invalid prefixes are rejected (returns false).
+func (t *Trie) Insert(p netip.Prefix) bool {
+	p = Canonical(p)
+	if !p.IsValid() {
+		return false
+	}
+	node := *t.root(p, true)
+	addr := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(addr, i)
+		if node.child[b] == nil {
+			node.child[b] = &trieNode{}
+		}
+		node = node.child[b]
+	}
+	if node.present {
+		return false
+	}
+	node.present = true
+	node.prefix = p
+	t.n++
+	return true
+}
+
+// Contains reports whether exactly p is stored.
+func (t *Trie) Contains(p netip.Prefix) bool {
+	p = Canonical(p)
+	if !p.IsValid() {
+		return false
+	}
+	node := *t.root(p, false)
+	if node == nil {
+		return false
+	}
+	addr := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		node = node.child[bitAt(addr, i)]
+		if node == nil {
+			return false
+		}
+	}
+	return node.present
+}
+
+// LongestMatch returns the most specific stored prefix covering p
+// (including p itself), and false if none covers it.
+func (t *Trie) LongestMatch(p netip.Prefix) (netip.Prefix, bool) {
+	p = Canonical(p)
+	if !p.IsValid() {
+		return netip.Prefix{}, false
+	}
+	node := *t.root(p, false)
+	if node == nil {
+		return netip.Prefix{}, false
+	}
+	var best netip.Prefix
+	found := false
+	addr := p.Addr()
+	if node.present {
+		best, found = node.prefix, true
+	}
+	for i := 0; i < p.Bits(); i++ {
+		node = node.child[bitAt(addr, i)]
+		if node == nil {
+			break
+		}
+		if node.present {
+			best, found = node.prefix, true
+		}
+	}
+	return best, found
+}
+
+// CoveredBy reports whether some stored prefix strictly or equally
+// covers p.
+func (t *Trie) CoveredBy(p netip.Prefix) bool {
+	_, ok := t.LongestMatch(p)
+	return ok
+}
+
+// Covers returns all stored prefixes that are contained within p
+// (more specific than or equal to p), in deterministic order.
+func (t *Trie) Covers(p netip.Prefix) []netip.Prefix {
+	p = Canonical(p)
+	if !p.IsValid() {
+		return nil
+	}
+	node := *t.root(p, false)
+	if node == nil {
+		return nil
+	}
+	addr := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		node = node.child[bitAt(addr, i)]
+		if node == nil {
+			return nil
+		}
+	}
+	var out []netip.Prefix
+	collect(node, &out)
+	SortPrefixes(out)
+	return out
+}
+
+func collect(n *trieNode, out *[]netip.Prefix) {
+	if n == nil {
+		return
+	}
+	if n.present {
+		*out = append(*out, n.prefix)
+	}
+	collect(n.child[0], out)
+	collect(n.child[1], out)
+}
+
+// All returns every stored prefix in deterministic order.
+func (t *Trie) All() []netip.Prefix {
+	var out []netip.Prefix
+	collect(t.v4, &out)
+	collect(t.v6, &out)
+	SortPrefixes(out)
+	return out
+}

@@ -1,0 +1,154 @@
+// Package probing implements the classic application of policy atoms
+// that Netdiff (NSDI'08) and iPlane (OSDI'06) pioneered and the paper
+// revisits: reducing measurement overhead by probing one representative
+// prefix per atom instead of every prefix. Because prefixes in an atom
+// share AS paths at every vantage point, the representative's path
+// stands in for the whole group — until atom churn erodes the plan,
+// which is why those systems refreshed their atom lists periodically
+// (iPlane: every two weeks).
+//
+// BuildPlan selects representatives from one snapshot; Accuracy scores
+// a plan against a later snapshot, quantifying exactly the
+// staleness-versus-overhead trade-off the paper's §4.4 stability
+// analysis informs.
+package probing
+
+import (
+	"net/netip"
+
+	"repro/internal/core"
+	"repro/internal/prefixset"
+)
+
+// Plan is a probing target list: one representative per atom.
+type Plan struct {
+	// Representatives, one per atom, in atom-ID order.
+	Representatives []netip.Prefix
+	// RepOf maps every covered prefix to its representative.
+	RepOf map[netip.Prefix]netip.Prefix
+	// TotalPrefixes is the prefix population the plan covers.
+	TotalPrefixes int
+}
+
+// BuildPlan picks the lowest prefix of each atom as its representative
+// (deterministic; any member works by the atom definition).
+func BuildPlan(as *core.AtomSet) *Plan {
+	p := &Plan{
+		RepOf:         make(map[netip.Prefix]netip.Prefix, len(as.Snap.Prefixes)),
+		TotalPrefixes: len(as.Snap.Prefixes),
+	}
+	for i := range as.Atoms {
+		members := as.PrefixSet(i)
+		prefixset.SortPrefixes(members)
+		rep := members[0]
+		p.Representatives = append(p.Representatives, rep)
+		for _, m := range members {
+			p.RepOf[m] = rep
+		}
+	}
+	return p
+}
+
+// Reduction returns the probing-overhead saving: 1 − targets/prefixes.
+func (p *Plan) Reduction() float64 {
+	if p.TotalPrefixes == 0 {
+		return 0
+	}
+	return 1 - float64(len(p.Representatives))/float64(p.TotalPrefixes)
+}
+
+// Accuracy evaluates the plan against a (possibly later) snapshot: the
+// fraction of (prefix, vantage point) observations whose AS path equals
+// the path of the prefix's representative in that snapshot. At the
+// plan's own snapshot this is 1.0 by construction; it decays as atoms
+// split or prefixes move — the signal for refreshing the plan.
+//
+// Prefixes absent from the later snapshot are skipped; representatives
+// absent from it count their members as mismatched (the probe target
+// vanished).
+func (p *Plan) Accuracy(s *core.Snapshot) Accuracy {
+	idx := make(map[netip.Prefix]int, len(s.Prefixes))
+	for i, pfx := range s.Prefixes {
+		idx[pfx] = i
+	}
+	var acc Accuracy
+	for member, rep := range p.RepOf {
+		mi, ok := idx[member]
+		if !ok {
+			acc.SkippedPrefixes++
+			continue
+		}
+		ri, repOK := idx[rep]
+		for v := range s.VPs {
+			acc.Observations++
+			if !repOK {
+				acc.Mismatches++
+				continue
+			}
+			if pathsEqual(s, mi, ri, v) {
+				acc.Matches++
+			} else {
+				acc.Mismatches++
+			}
+		}
+	}
+	return acc
+}
+
+// pathsEqual compares two routes within one snapshot; the interning
+// table guarantees ID equality ⟺ sequence equality (both-missing is
+// equal: probing either yields the same non-answer).
+func pathsEqual(s *core.Snapshot, a, b, v int) bool {
+	return s.Routes[a][v] == s.Routes[b][v]
+}
+
+// Accuracy aggregates plan-vs-snapshot agreement.
+type Accuracy struct {
+	Observations    int // (prefix, VP) pairs scored
+	Matches         int
+	Mismatches      int
+	SkippedPrefixes int // prefixes no longer in the snapshot
+}
+
+// Rate returns Matches/Observations (1.0 when nothing was scored).
+func (a Accuracy) Rate() float64 {
+	if a.Observations == 0 {
+		return 1
+	}
+	return float64(a.Matches) / float64(a.Observations)
+}
+
+// StalePrefixes identifies the prefixes whose observed paths no longer
+// match their representative anywhere — the minimal set to re-probe or
+// re-assign when refreshing the plan incrementally.
+func (p *Plan) StalePrefixes(s *core.Snapshot) []netip.Prefix {
+	idx := make(map[netip.Prefix]int, len(s.Prefixes))
+	for i, pfx := range s.Prefixes {
+		idx[pfx] = i
+	}
+	var out []netip.Prefix
+	for member, rep := range p.RepOf {
+		if member == rep {
+			continue
+		}
+		mi, ok := idx[member]
+		if !ok {
+			continue
+		}
+		ri, ok := idx[rep]
+		stale := !ok
+		if !stale {
+			for v := range s.VPs {
+				if s.Routes[mi][v] != s.Routes[ri][v] {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			out = append(out, member)
+		}
+	}
+	prefixset.SortPrefixes(out)
+	return out
+}

@@ -1,0 +1,687 @@
+// Package routing computes the BGP routes that vantage points observe
+// over a topology.Graph: Gao-Rexford valley-free propagation with the
+// standard decision process (customer > peer > provider, then AS-path
+// length, then a deterministic tie-break), honoring every policy the
+// topology expresses — origin selective announce, origin and transit
+// prepending, and transit selective export — plus a churn overlay that
+// perturbs those policies between snapshots.
+//
+// The engine is exact but lazy: customer routes are propagated upward
+// with a Dijkstra pass (they are always preferred, so the upward pass is
+// self-contained), peer routes are a single-hop exchange, and
+// provider-learned routes are resolved on demand by recursing up the
+// acyclic provider DAG. Only the vantage points' routes are ever fully
+// materialized, which keeps per-unit cost at a few hundred operations.
+package routing
+
+import (
+	"container/heap"
+	"net/netip"
+
+	"repro/internal/aspath"
+	"repro/internal/prefixset"
+	"repro/internal/topology"
+)
+
+// Class is the route preference class, ascending.
+type Class uint8
+
+// Preference classes (higher wins).
+const (
+	ClassNone     Class = iota
+	ClassProvider       // learned from a provider
+	ClassPeer           // learned from a peer
+	ClassCustomer       // learned from a customer
+	ClassOrigin         // locally originated
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassProvider:
+		return "provider"
+	case ClassPeer:
+		return "peer"
+	case ClassCustomer:
+		return "customer"
+	case ClassOrigin:
+		return "origin"
+	default:
+		return "none"
+	}
+}
+
+// ExportKey addresses one transit export decision.
+type ExportKey struct {
+	ASN      uint32
+	UnitID   int
+	Neighbor uint32
+}
+
+// Overlay perturbs the graph's policies without regenerating it — the
+// churn mechanism behind stability, split, and update analyses.
+type Overlay struct {
+	// AnnounceOverride replaces a unit's origin announce policy.
+	AnnounceOverride map[int]map[uint32]topology.AnnouncePolicy
+	// ExportFlip inverts the transit export decision for a key.
+	ExportFlip map[ExportKey]bool
+	// VPSalt changes tie-breaking at an AS (a local policy change: the
+	// AS prefers a different equally-good neighbor).
+	VPSalt map[uint32]uint64
+	// WithdrawnUnits marks units entirely withdrawn (outage).
+	WithdrawnUnits map[int]bool
+	// PrefixMoves reassigns a prefix to another unit's policy (the
+	// operator applied different traffic engineering to one prefix) —
+	// the mechanism behind atom composition churn.
+	PrefixMoves map[netip.Prefix]int
+	// VPShift gives a vantage point a per-prefix route-shift token: a
+	// small share (VPShiftShare) of the prefixes it carries use its
+	// runner-up route instead of the best one — a local, per-prefix
+	// policy change (hot-potato / localpref tweak) that splits atoms
+	// visibly only at that VP (§4.4.1's localized splits). The token is
+	// version-dependent: each VP event re-draws the churning portion.
+	VPShift map[uint32]uint64
+	// VPSticky is the version-independent component of the shift set:
+	// most of a VP's idiosyncratic routes stay idiosyncratic across its
+	// events, so stability decay saturates instead of compounding.
+	VPSticky map[uint32]uint64
+	// VPShiftShare is the fraction of prefixes a shifted VP re-routes.
+	VPShiftShare float64
+}
+
+// MoveSet is a prepared index over an overlay's PrefixMoves.
+type MoveSet struct {
+	away map[netip.Prefix]bool
+	into map[int][]netip.Prefix
+}
+
+// BuildMoveSet indexes the overlay's prefix moves (nil-safe).
+func BuildMoveSet(ov *Overlay) *MoveSet {
+	ms := &MoveSet{away: map[netip.Prefix]bool{}, into: map[int][]netip.Prefix{}}
+	if ov == nil {
+		return ms
+	}
+	for pfx, target := range ov.PrefixMoves {
+		ms.away[pfx] = true
+		ms.into[target] = append(ms.into[target], pfx)
+	}
+	for _, ps := range ms.into {
+		prefixset.SortPrefixes(ps)
+	}
+	return ms
+}
+
+// UnitPrefixes returns the unit's effective prefix set: home prefixes
+// not moved away, plus prefixes moved in.
+func (ms *MoveSet) UnitPrefixes(u *topology.PolicyGroup) []netip.Prefix {
+	moved := ms.into[u.ID]
+	if len(ms.away) == 0 && len(moved) == 0 {
+		return u.Prefixes
+	}
+	out := make([]netip.Prefix, 0, len(u.Prefixes)+len(moved))
+	for _, p := range u.Prefixes {
+		if !ms.away[p] {
+			out = append(out, p)
+		}
+	}
+	return append(out, moved...)
+}
+
+// VPRoute is the route a vantage point announces to a collector.
+type VPRoute struct {
+	// Path includes the vantage point's own ASN first and the origin
+	// last (the path as it appears in collector data).
+	Path  aspath.Seq
+	Class Class
+	Cost  int
+}
+
+// Engine computes routes for one graph + overlay. Not safe for
+// concurrent use; create one engine per goroutine.
+type Engine struct {
+	G  *topology.Graph
+	Ov *Overlay
+
+	idx  map[uint32]int32
+	asns []uint32
+	as   []*topology.AS
+
+	// Per-unit scratch, stamp-versioned to avoid O(n) clears.
+	stamp    []uint32
+	cur      uint32
+	custCost []int32
+	custPar  []int32
+	custPrep []int8
+
+	peerStamp []uint32
+	peerCost  []int32
+	peerPar   []int32
+	peerPrep  []int8
+
+	bestStamp []uint32
+	bestKind  []Class
+	bestCost  []int32
+	bestPar   []int32
+	bestPrep  []int8
+
+	pathStamp []uint32
+	pathMemo  [][]uint32 // memo of pathBest per node
+
+	custPathStamp []uint32
+	custPathMemo  [][]uint32
+
+	custOrder []int32 // nodes that got customer routes, pop order
+
+	unit   *topology.PolicyGroup
+	origin int32
+}
+
+// NewEngine builds an engine over g with an optional overlay.
+func NewEngine(g *topology.Graph, ov *Overlay) *Engine {
+	n := len(g.ASes)
+	e := &Engine{
+		G: g, Ov: ov,
+		idx:  make(map[uint32]int32, n),
+		asns: make([]uint32, n),
+		as:   make([]*topology.AS, n),
+
+		stamp:    make([]uint32, n),
+		custCost: make([]int32, n),
+		custPar:  make([]int32, n),
+		custPrep: make([]int8, n),
+
+		peerStamp: make([]uint32, n),
+		peerCost:  make([]int32, n),
+		peerPar:   make([]int32, n),
+		peerPrep:  make([]int8, n),
+
+		bestStamp: make([]uint32, n),
+		bestKind:  make([]Class, n),
+		bestCost:  make([]int32, n),
+		bestPar:   make([]int32, n),
+		bestPrep:  make([]int8, n),
+
+		pathStamp: make([]uint32, n),
+		pathMemo:  make([][]uint32, n),
+
+		custPathStamp: make([]uint32, n),
+		custPathMemo:  make([][]uint32, n),
+	}
+	for i, a := range g.ASes {
+		e.idx[a.ASN] = int32(i)
+		e.asns[i] = a.ASN
+		e.as[i] = a
+	}
+	return e
+}
+
+// announce returns the unit's effective announce policy.
+func (e *Engine) announce(u *topology.PolicyGroup) map[uint32]topology.AnnouncePolicy {
+	if e.Ov != nil {
+		if ov, ok := e.Ov.AnnounceOverride[u.ID]; ok {
+			return ov
+		}
+	}
+	return u.Announce
+}
+
+// exports evaluates the transit export decision with overlay flips.
+func (e *Engine) exports(from *topology.AS, u *topology.PolicyGroup, to uint32) (bool, int) {
+	ok, prep := e.G.Exports(from, u, to)
+	if e.Ov != nil && e.Ov.ExportFlip[ExportKey{from.ASN, u.ID, to}] {
+		ok = !ok
+		if ok {
+			prep = 0
+		}
+	}
+	return ok, prep
+}
+
+// tiebreak returns the comparison key for choosing between equal-cost
+// candidates at node x: normally the neighbor ASN (lowest wins), salted
+// when the overlay marks x as having changed its local preference.
+func (e *Engine) tiebreak(x int32, neighborASN uint32) uint64 {
+	if e.Ov != nil {
+		if salt, ok := e.Ov.VPSalt[e.asns[x]]; ok && salt != 0 {
+			return h64mix(uint64(neighborASN), salt)
+		}
+	}
+	return uint64(neighborASN)
+}
+
+func h64mix(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// relationship constants for seed classification.
+func isProviderOf(a *topology.AS, asn uint32) bool {
+	for _, p := range a.Providers {
+		if p == asn {
+			return true
+		}
+	}
+	return false
+}
+
+func isPeerOf(a *topology.AS, asn uint32) bool {
+	for _, p := range a.Peers {
+		if p == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// pqItem is a Dijkstra heap entry.
+type pqItem struct {
+	cost int32
+	key  uint64
+	node int32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	if q[i].key != q[j].key {
+		return q[i].key < q[j].key
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ComputeUnit prepares routes for one unit. Subsequent RouteAt calls
+// answer for this unit until the next ComputeUnit.
+func (e *Engine) ComputeUnit(u *topology.PolicyGroup) {
+	e.cur++
+	e.unit = u
+	e.custOrder = e.custOrder[:0]
+	oi, ok := e.idx[u.Origin]
+	if !ok {
+		e.origin = -1
+		return
+	}
+	e.origin = oi
+	if e.Ov != nil && e.Ov.WithdrawnUnits[u.ID] {
+		e.origin = -1
+		return
+	}
+
+	// Origin's own route.
+	e.stamp[oi] = e.cur
+	e.custCost[oi] = 0
+	e.custPar[oi] = -1
+	e.custPrep[oi] = 0
+	e.custOrder = append(e.custOrder, oi)
+
+	// Seeds: the origin's announcements. Providers receive customer-class
+	// routes (and enter the upward Dijkstra); peers receive peer-class.
+	origin := e.as[oi]
+	var q pq
+	for n, pol := range e.announce(u) {
+		ni, ok := e.idx[n]
+		if !ok {
+			continue
+		}
+		cost := int32(1 + pol.Prepend)
+		switch {
+		case isProviderOf(origin, n):
+			if e.better(ni, cost, oi, e.custStampOK(ni), e.custCost, e.custPar) {
+				e.stamp[ni] = e.cur
+				e.custCost[ni] = cost
+				e.custPar[ni] = oi
+				e.custPrep[ni] = int8(pol.Prepend)
+				heap.Push(&q, pqItem{cost: cost, key: e.tiebreak(ni, origin.ASN), node: ni})
+			}
+		case isPeerOf(origin, n):
+			if e.peerBetter(ni, cost, oi) {
+				e.peerStamp[ni] = e.cur
+				e.peerCost[ni] = cost
+				e.peerPar[ni] = oi
+				e.peerPrep[ni] = int8(pol.Prepend)
+			}
+		}
+	}
+
+	// Phase 1: customer routes climb the provider DAG.
+	settled := make(map[int32]bool, 16)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		x := it.node
+		if settled[x] || e.stamp[x] != e.cur || e.custCost[x] != it.cost {
+			continue
+		}
+		settled[x] = true
+		e.custOrder = append(e.custOrder, x)
+		ax := e.as[x]
+		for _, pASN := range ax.Providers {
+			pi, ok := e.idx[pASN]
+			if !ok || settled[pi] {
+				continue
+			}
+			expOK, prep := e.exports(ax, u, pASN)
+			if !expOK {
+				continue
+			}
+			cost := e.custCost[x] + 1 + int32(prep)
+			if e.betterCust(pi, cost, x) {
+				e.stamp[pi] = e.cur
+				e.custCost[pi] = cost
+				e.custPar[pi] = x
+				e.custPrep[pi] = int8(prep)
+				heap.Push(&q, pqItem{cost: cost, key: e.tiebreak(pi, ax.ASN), node: pi})
+			}
+		}
+	}
+
+	// Phase 2: one-hop peer exchange of customer-class routes.
+	for _, x := range e.custOrder {
+		if x == oi {
+			continue // origin's peer announcements were seeded above
+		}
+		ax := e.as[x]
+		for _, prASN := range ax.Peers {
+			pi, ok := e.idx[prASN]
+			if !ok {
+				continue
+			}
+			expOK, prep := e.exports(ax, u, prASN)
+			if !expOK {
+				continue
+			}
+			cost := e.custCost[x] + 1 + int32(prep)
+			if e.peerBetter(pi, cost, x) {
+				e.peerStamp[pi] = e.cur
+				e.peerCost[pi] = cost
+				e.peerPar[pi] = x
+				e.peerPrep[pi] = int8(prep)
+			}
+		}
+	}
+}
+
+func (e *Engine) custStampOK(x int32) bool { return e.stamp[x] == e.cur }
+
+// better reports whether (cost, parent) beats the stored customer route
+// at x, comparing (cost, tiebreak(parentASN)).
+func (e *Engine) better(x int32, cost int32, par int32, has bool, costs []int32, pars []int32) bool {
+	if !has {
+		return true
+	}
+	if cost != costs[x] {
+		return cost < costs[x]
+	}
+	return e.tiebreak(x, e.asns[par]) < e.tiebreak(x, e.asns[pars[x]])
+}
+
+func (e *Engine) betterCust(x, cost, par int32) bool {
+	return e.better(x, cost, par, e.stamp[x] == e.cur, e.custCost, e.custPar)
+}
+
+func (e *Engine) peerBetter(x, cost, par int32) bool {
+	return e.better(x, cost, par, e.peerStamp[x] == e.cur, e.peerCost, e.peerPar)
+}
+
+// bestAt resolves the decision process at node x for the current unit:
+// customer route if any, else peer, else the best provider-learned
+// route (recursing up the acyclic provider DAG). Returns false if x has
+// no route.
+func (e *Engine) bestAt(x int32) bool {
+	if e.bestStamp[x] == e.cur {
+		return e.bestKind[x] != ClassNone
+	}
+	e.bestStamp[x] = e.cur
+	e.bestKind[x] = ClassNone
+
+	if e.stamp[x] == e.cur { // customer-class (or origin)
+		if x == e.origin {
+			e.bestKind[x] = ClassOrigin
+		} else {
+			e.bestKind[x] = ClassCustomer
+		}
+		e.bestCost[x] = e.custCost[x]
+		e.bestPar[x] = e.custPar[x]
+		e.bestPrep[x] = e.custPrep[x]
+		return true
+	}
+	if e.peerStamp[x] == e.cur {
+		e.bestKind[x] = ClassPeer
+		e.bestCost[x] = e.peerCost[x]
+		e.bestPar[x] = e.peerPar[x]
+		e.bestPrep[x] = e.peerPrep[x]
+		return true
+	}
+	// Provider-learned: the origin always exports to its customers; a
+	// transit exports its best route to customers subject to policy.
+	ax := e.as[x]
+	haveBest := false
+	var bCost int32
+	var bPar int32
+	var bPrep int8
+	for _, pASN := range ax.Providers {
+		pi, ok := e.idx[pASN]
+		if !ok {
+			continue
+		}
+		if !e.bestAt(pi) {
+			continue
+		}
+		ap := e.as[pi]
+		var expOK bool
+		var prep int
+		if pi == e.origin {
+			expOK, prep = true, 0 // origin always serves its customers
+		} else {
+			expOK, prep = e.exports(ap, e.unit, ax.ASN)
+		}
+		if !expOK {
+			continue
+		}
+		cost := e.bestCost[pi] + 1 + int32(prep)
+		if !haveBest || cost < bCost ||
+			(cost == bCost && e.tiebreak(x, e.asns[pi]) < e.tiebreak(x, e.asns[bPar])) {
+			haveBest = true
+			bCost = cost
+			bPar = pi
+			bPrep = int8(prep)
+		}
+	}
+	if !haveBest {
+		return false
+	}
+	e.bestKind[x] = ClassProvider
+	e.bestCost[x] = bCost
+	e.bestPar[x] = bPar
+	e.bestPrep[x] = bPrep
+	return true
+}
+
+// pathCust reconstructs the customer-class path at x (not including x).
+func (e *Engine) pathCust(x int32) []uint32 {
+	if x == e.origin {
+		return nil
+	}
+	if e.custPathStamp[x] == e.cur {
+		return e.custPathMemo[x]
+	}
+	par := e.custPar[x]
+	parPath := e.pathCust(par)
+	path := make([]uint32, 0, len(parPath)+1+int(e.custPrep[x]))
+	for i := 0; i <= int(e.custPrep[x]); i++ {
+		path = append(path, e.asns[par])
+	}
+	path = append(path, parPath...)
+	e.custPathStamp[x] = e.cur
+	e.custPathMemo[x] = path
+	return path
+}
+
+// pathBest reconstructs the best path at x (not including x).
+func (e *Engine) pathBest(x int32) []uint32 {
+	if e.pathStamp[x] == e.cur {
+		return e.pathMemo[x]
+	}
+	var path []uint32
+	switch e.bestKind[x] {
+	case ClassOrigin:
+		path = nil
+	case ClassCustomer:
+		path = e.pathCust(x)
+	case ClassPeer:
+		par := e.peerPar[x]
+		parPath := e.pathCust(par)
+		path = make([]uint32, 0, len(parPath)+1+int(e.peerPrep[x]))
+		for i := 0; i <= int(e.peerPrep[x]); i++ {
+			path = append(path, e.asns[par])
+		}
+		path = append(path, parPath...)
+	case ClassProvider:
+		par := e.bestPar[x]
+		parPath := e.pathBest(par)
+		path = make([]uint32, 0, len(parPath)+1+int(e.bestPrep[x]))
+		for i := 0; i <= int(e.bestPrep[x]); i++ {
+			path = append(path, e.asns[par])
+		}
+		path = append(path, parPath...)
+	}
+	e.pathStamp[x] = e.cur
+	e.pathMemo[x] = path
+	return path
+}
+
+// RouteAt returns the route the given AS would announce to a collector
+// for the current unit, with ok=false if the AS has no route. The path
+// includes the AS itself first.
+func (e *Engine) RouteAt(asn uint32) (VPRoute, bool) {
+	x, ok := e.idx[asn]
+	if !ok || e.origin < 0 {
+		return VPRoute{}, false
+	}
+	if !e.bestAt(x) {
+		return VPRoute{}, false
+	}
+	inner := e.pathBest(x)
+	path := make(aspath.Seq, 0, len(inner)+1)
+	path = append(path, asn)
+	path = append(path, inner...)
+	return VPRoute{Path: path, Class: e.bestKind[x], Cost: int(e.bestCost[x])}, true
+}
+
+// AltRouteAt returns the runner-up route at the given AS for the
+// current unit: the best candidate at the final selection step other
+// than the one chosen — the route the AS would fall back to after a
+// local preference change. ok=false if there is no alternative.
+func (e *Engine) AltRouteAt(asn uint32) (VPRoute, bool) {
+	x, ok := e.idx[asn]
+	if !ok || e.origin < 0 || !e.bestAt(x) {
+		return VPRoute{}, false
+	}
+	if e.bestKind[x] == ClassOrigin {
+		// Self-originated: any "alternative" via a provider would loop
+		// back through the origin's own ASN, which BGP rejects.
+		return VPRoute{}, false
+	}
+	chosenKind, chosenPar := e.bestKind[x], e.bestPar[x]
+	type cand struct {
+		kind Class
+		cost int32
+		par  int32
+		prep int8
+	}
+	var best *cand
+	consider := func(c cand) {
+		if c.kind == chosenKind && c.par == chosenPar {
+			return
+		}
+		if best == nil ||
+			c.kind > best.kind ||
+			(c.kind == best.kind && c.cost < best.cost) ||
+			(c.kind == best.kind && c.cost == best.cost &&
+				e.tiebreak(x, e.asns[c.par]) < e.tiebreak(x, e.asns[best.par])) {
+			v := c
+			best = &v
+		}
+	}
+	if e.stamp[x] == e.cur && x != e.origin {
+		consider(cand{kind: ClassCustomer, cost: e.custCost[x], par: e.custPar[x], prep: e.custPrep[x]})
+	}
+	if e.peerStamp[x] == e.cur {
+		consider(cand{kind: ClassPeer, cost: e.peerCost[x], par: e.peerPar[x], prep: e.peerPrep[x]})
+	}
+	ax := e.as[x]
+	for _, pASN := range ax.Providers {
+		pi, ok := e.idx[pASN]
+		if !ok || !e.bestAt(pi) {
+			continue
+		}
+		var expOK bool
+		var prep int
+		if pi == e.origin {
+			expOK, prep = true, 0
+		} else {
+			expOK, prep = e.exports(e.as[pi], e.unit, ax.ASN)
+		}
+		if !expOK {
+			continue
+		}
+		consider(cand{kind: ClassProvider, cost: e.bestCost[pi] + 1 + int32(prep), par: pi, prep: int8(prep)})
+	}
+	if best == nil {
+		return VPRoute{}, false
+	}
+	// Reconstruct the alternative's path.
+	var inner []uint32
+	emit := func(par int32, prep int8, parPath []uint32) {
+		inner = make([]uint32, 0, len(parPath)+1+int(prep))
+		for i := 0; i <= int(prep); i++ {
+			inner = append(inner, e.asns[par])
+		}
+		inner = append(inner, parPath...)
+	}
+	switch best.kind {
+	case ClassCustomer:
+		inner = e.pathCust(x)
+	case ClassPeer:
+		emit(best.par, best.prep, e.pathCust(best.par))
+	case ClassProvider:
+		emit(best.par, best.prep, e.pathBest(best.par))
+	}
+	path := make(aspath.Seq, 0, len(inner)+1)
+	path = append(path, asn)
+	path = append(path, inner...)
+	return VPRoute{Path: path, Class: best.kind, Cost: int(best.cost)}, true
+}
+
+// PathsAt computes routes for every vantage point for one unit:
+// result[i] corresponds to vps[i]; missing routes have a nil Path.
+func (e *Engine) PathsAt(u *topology.PolicyGroup, vps []uint32) []VPRoute {
+	e.ComputeUnit(u)
+	out := make([]VPRoute, len(vps))
+	for i, vp := range vps {
+		if r, ok := e.RouteAt(vp); ok {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// AltPathsAt computes runner-up routes for every vantage point for the
+// unit most recently passed to PathsAt/ComputeUnit.
+func (e *Engine) AltPathsAt(vps []uint32) []VPRoute {
+	out := make([]VPRoute, len(vps))
+	for i, vp := range vps {
+		if r, ok := e.AltRouteAt(vp); ok {
+			out[i] = r
+		}
+	}
+	return out
+}

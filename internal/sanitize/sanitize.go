@@ -1,0 +1,438 @@
+// Package sanitize implements the paper's data-cleaning methodology
+// (§2.4, §A8.3): full-feed peer inference, abnormal-peer removal
+// (ADD-PATH parse trouble, private-ASN insertion, excessive duplicates),
+// AS-SET handling, prefix-length admission, and the two-threshold
+// visibility filter (≥ MinCollectors collectors, ≥ MinPeerASes peer
+// ASes). Its output is the core.Snapshot that atom computation consumes,
+// plus a Report documenting everything that was removed and why.
+package sanitize
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+
+	"repro/internal/aspath"
+	"repro/internal/bgpstream"
+	"repro/internal/core"
+	"repro/internal/prefixset"
+)
+
+// Options tunes the pipeline. ZeroOptions (all zero values) is invalid;
+// start from Defaults.
+type Options struct {
+	// FullFeedFraction: a feed is full if its unique prefix count
+	// exceeds this fraction of the maximum across feeds (§2.4.2).
+	FullFeedFraction float64
+	// MinCollectors / MinPeerASes are the visibility thresholds
+	// (§2.4.3; Table 7 sweeps them).
+	MinCollectors int
+	MinPeerASes   int
+	// LengthFilter admits only prefixes ≤ /24 (v4) or ≤ /48 (v6).
+	LengthFilter bool
+	// MaxParseWarnings: a peer AS accumulating more update-stream parse
+	// warnings than this is removed (ADD-PATH damage, §A8.3.1).
+	MaxParseWarnings int
+	// PrivateASNShare: a peer AS whose paths carry a private ASN for
+	// more than this share of its prefixes is removed (§A8.3.2).
+	PrivateASNShare float64
+	// DuplicateShare: a peer AS sending more than this share of its
+	// prefixes in duplicate is removed (§2.4.4).
+	DuplicateShare float64
+	// KeepAllPrefixes reproduces Afek et al.'s 2002 methodology:
+	// no visibility thresholds, no length filter.
+	KeepAllPrefixes bool
+	// Family restricts the snapshot to one address family: 0 = both,
+	// 4 = IPv4 only, 6 = IPv6 only. Atoms are computed per family, and
+	// full-feed inference runs within the family's own table sizes.
+	Family int
+}
+
+// Defaults returns the paper's parameters.
+func Defaults() Options {
+	return Options{
+		FullFeedFraction: 0.9,
+		MinCollectors:    2,
+		MinPeerASes:      4,
+		LengthFilter:     true,
+		MaxParseWarnings: 5,
+		PrivateASNShare:  0.05,
+		DuplicateShare:   0.10,
+	}
+}
+
+// Afek2002 returns the reproduction-mode options (§3.1: all prefixes,
+// every peer assumed full-feed by construction).
+func Afek2002() Options {
+	o := Defaults()
+	o.KeepAllPrefixes = true
+	o.LengthFilter = false
+	o.MinCollectors = 1
+	o.MinPeerASes = 1
+	return o
+}
+
+// RemovalReason explains why a peer AS was dropped.
+type RemovalReason string
+
+// Removal reasons.
+const (
+	RemovedAddPath    RemovalReason = "add-path parse errors"
+	RemovedPrivateASN RemovalReason = "private ASN in paths"
+	RemovedDuplicates RemovalReason = "excessive duplicate prefixes"
+)
+
+// FeedStat describes one feed (collector, peer AS) before filtering.
+type FeedStat struct {
+	VP             core.VP
+	UniquePrefixes int
+	Duplicates     int
+	PrivateASN     int
+	ASSetDropped   int
+	LoopDropped    int
+	FullFeed       bool
+}
+
+// Report documents the pipeline's decisions.
+type Report struct {
+	Feeds []FeedStat
+	// MaxPrefixCount is the per-feed maximum unique prefix count — the
+	// basis of the full-feed threshold (Fig 12).
+	MaxPrefixCount int
+	// FullFeedThreshold = FullFeedFraction × MaxPrefixCount.
+	FullFeedThreshold int
+	// FullFeeds counts feeds above the threshold (Fig 13).
+	FullFeeds int
+	// RemovedPeerASes maps peer ASN → reason (Table 5).
+	RemovedPeerASes map[uint32]RemovalReason
+	// Prefix funnel.
+	PrefixesSeen       int // distinct prefixes in full-feed data
+	PrefixesAdmitted   int // after length + visibility filters
+	DroppedByLength    int
+	DroppedByCollector int
+	DroppedByPeerASes  int
+	// MOAS accounting (prefixes with >1 origin among admitted).
+	MOASPrefixes int
+}
+
+// Feed is one peer feed's routing table — the unit of the pipeline.
+// Feeds come either from MRT archives (Clean) or directly from the
+// simulator's in-memory routes (the longitudinal fast path).
+type Feed struct {
+	VP   core.VP
+	Time uint32
+	// Routes maps each prefix to its observed AS path.
+	Routes map[netip.Prefix]aspath.Seq
+	// Duplicates counts repeated route entries seen during ingestion.
+	Duplicates int
+	// ASSetDropped counts paths dropped for multi-member AS_SETs.
+	ASSetDropped int
+}
+
+// feedKey identifies a feed.
+type feedKey struct {
+	collector string
+	asn       uint32
+}
+
+// Clean runs the full pipeline over RIB sources, consulting update-
+// stream warnings for abnormal-peer detection, and produces the
+// sanitized snapshot. The returned Report explains every removal.
+func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts Options) (*core.Snapshot, *Report, error) {
+	// Pass 1: ingest RIB elements per feed.
+	feeds := map[feedKey]*Feed{}
+	filter := &bgpstream.Filter{
+		Types:  map[bgpstream.ElemType]bool{bgpstream.ElemRIB: true},
+		V4Only: opts.Family == 4,
+		V6Only: opts.Family == 6,
+	}
+	stream := bgpstream.NewStream(filter, sources...)
+	for {
+		e, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		k := feedKey{collector: e.Collector, asn: e.PeerASN}
+		fd := feeds[k]
+		if fd == nil {
+			fd = &Feed{
+				VP:     core.VP{Collector: e.Collector, ASN: e.PeerASN},
+				Time:   e.Timestamp,
+				Routes: map[netip.Prefix]aspath.Seq{},
+			}
+			feeds[k] = fd
+		}
+		pfx := prefixset.Canonical(e.Prefix)
+		if !pfx.IsValid() {
+			continue
+		}
+		if _, dup := fd.Routes[pfx]; dup {
+			fd.Duplicates++
+			continue
+		}
+		seq, err := e.Path.Sequence()
+		if err != nil {
+			// Multi-AS-set or confederation: the path is unusable; the
+			// prefix is treated as unseen at this feed (§2.4.4).
+			fd.ASSetDropped++
+			continue
+		}
+		fd.Routes[pfx] = seq
+	}
+	list := make([]*Feed, 0, len(feeds))
+	for _, fd := range feeds {
+		list = append(list, fd)
+	}
+	return CleanFeeds(list, updateWarnings, opts)
+}
+
+// CleanFeeds runs the pipeline over already-ingested feeds.
+func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) (*core.Snapshot, *Report, error) {
+	rep := &Report{RemovedPeerASes: map[uint32]RemovalReason{}}
+	table := aspath.NewTable()
+
+	type feedData struct {
+		stat   FeedStat
+		routes map[netip.Prefix]aspath.ID
+	}
+	var snapTime uint32
+	feeds := make([]*feedData, 0, len(list))
+	for _, f := range list {
+		if snapTime == 0 {
+			snapTime = f.Time
+		}
+		fd := &feedData{
+			stat: FeedStat{
+				VP:           f.VP,
+				Duplicates:   f.Duplicates,
+				ASSetDropped: f.ASSetDropped,
+			},
+			routes: make(map[netip.Prefix]aspath.ID, len(f.Routes)),
+		}
+		for pfx, seq := range f.Routes {
+			if opts.Family == 4 && !pfx.Addr().Is4() {
+				continue
+			}
+			if opts.Family == 6 && pfx.Addr().Is4() {
+				continue
+			}
+			if seq.HasLoop() {
+				fd.stat.LoopDropped++
+				continue
+			}
+			if len(seq) > 1 && seq[1:].HasPrivateASN() {
+				fd.stat.PrivateASN++
+			}
+			fd.routes[pfx] = table.Intern(seq)
+		}
+		feeds = append(feeds, fd)
+	}
+
+	// Abnormal peers from update-stream warnings.
+	warnByPeer := map[uint32]int{}
+	for _, w := range updateWarnings {
+		if w.PeerASN != 0 {
+			warnByPeer[w.PeerASN]++
+		}
+	}
+	for asn, n := range warnByPeer {
+		if n > opts.MaxParseWarnings {
+			rep.RemovedPeerASes[asn] = RemovedAddPath
+		}
+	}
+
+	// Abnormal peers from feed-level shares. Removal is by peer AS
+	// (every feed of that AS goes), matching the paper.
+	for _, fd := range feeds {
+		n := len(fd.routes)
+		fd.stat.UniquePrefixes = n
+		if n == 0 {
+			continue
+		}
+		if float64(fd.stat.PrivateASN)/float64(n) > opts.PrivateASNShare {
+			rep.RemovedPeerASes[fd.stat.VP.ASN] = RemovedPrivateASN
+		}
+		if float64(fd.stat.Duplicates)/float64(n+fd.stat.Duplicates) > opts.DuplicateShare {
+			rep.RemovedPeerASes[fd.stat.VP.ASN] = RemovedDuplicates
+		}
+	}
+
+	// Full-feed inference over surviving feeds.
+	max := 0
+	for _, fd := range feeds {
+		if _, gone := rep.RemovedPeerASes[fd.stat.VP.ASN]; gone {
+			continue
+		}
+		if len(fd.routes) > max {
+			max = len(fd.routes)
+		}
+	}
+	rep.MaxPrefixCount = max
+	rep.FullFeedThreshold = int(opts.FullFeedFraction * float64(max))
+
+	var vpFeeds []*feedData
+	for _, fd := range feeds {
+		if _, gone := rep.RemovedPeerASes[fd.stat.VP.ASN]; gone {
+			continue
+		}
+		if len(fd.routes) > rep.FullFeedThreshold ||
+			(opts.KeepAllPrefixes && len(fd.routes) > 0) {
+			fd.stat.FullFeed = len(fd.routes) > rep.FullFeedThreshold
+			if fd.stat.FullFeed {
+				rep.FullFeeds++
+			}
+			vpFeeds = append(vpFeeds, fd)
+		}
+	}
+	// Deterministic VP order.
+	sort.Slice(vpFeeds, func(i, j int) bool {
+		a, b := vpFeeds[i].stat.VP, vpFeeds[j].stat.VP
+		if a.Collector != b.Collector {
+			return a.Collector < b.Collector
+		}
+		return a.ASN < b.ASN
+	})
+	for _, fd := range feeds {
+		rep.Feeds = append(rep.Feeds, fd.stat)
+	}
+	sort.Slice(rep.Feeds, func(i, j int) bool {
+		a, b := rep.Feeds[i].VP, rep.Feeds[j].VP
+		if a.Collector != b.Collector {
+			return a.Collector < b.Collector
+		}
+		return a.ASN < b.ASN
+	})
+
+	// Prefix admission: length + visibility thresholds over VP feeds.
+	type vis struct {
+		collectors map[string]struct{}
+		peerASes   map[uint32]struct{}
+	}
+	seen := map[netip.Prefix]*vis{}
+	for _, fd := range vpFeeds {
+		for pfx := range fd.routes {
+			v := seen[pfx]
+			if v == nil {
+				v = &vis{collectors: map[string]struct{}{}, peerASes: map[uint32]struct{}{}}
+				seen[pfx] = v
+			}
+			v.collectors[fd.stat.VP.Collector] = struct{}{}
+			v.peerASes[fd.stat.VP.ASN] = struct{}{}
+		}
+	}
+	rep.PrefixesSeen = len(seen)
+
+	var admitted []netip.Prefix
+	for pfx, v := range seen {
+		if opts.LengthFilter && !prefixset.Admissible(pfx) {
+			rep.DroppedByLength++
+			continue
+		}
+		if !opts.KeepAllPrefixes {
+			if len(v.collectors) < opts.MinCollectors {
+				rep.DroppedByCollector++
+				continue
+			}
+			if len(v.peerASes) < opts.MinPeerASes {
+				rep.DroppedByPeerASes++
+				continue
+			}
+		}
+		admitted = append(admitted, pfx)
+	}
+	prefixset.SortPrefixes(admitted)
+	rep.PrefixesAdmitted = len(admitted)
+
+	// Assemble the snapshot.
+	vps := make([]core.VP, len(vpFeeds))
+	for i, fd := range vpFeeds {
+		vps[i] = fd.stat.VP
+	}
+	snap := core.NewSnapshot(snapTime, vps, admitted)
+	// Share the interning table built during ingestion.
+	snap.Paths = table
+	for p, pfx := range admitted {
+		origins := map[uint32]struct{}{}
+		for v, fd := range vpFeeds {
+			if id, ok := fd.routes[pfx]; ok {
+				snap.Routes[p][v] = id
+				if o, ok := table.Origin(id); ok {
+					origins[o] = struct{}{}
+				}
+			}
+		}
+		if len(origins) > 1 {
+			rep.MOASPrefixes++
+		}
+	}
+	return snap, rep, nil
+}
+
+// CountAdmitted runs only the visibility portion of the pipeline for a
+// threshold pair — the Table 7 sensitivity sweep — reusing a prepared
+// visibility index built by VisibilityIndex.
+type Visibility struct {
+	collectors []uint8 // per prefix: distinct collector count (capped 255)
+	peerASes   []uint16
+	lengthOK   []bool
+}
+
+// VisibilityIndex precomputes per-prefix visibility over full feeds so
+// threshold sweeps don't re-read the archives.
+func VisibilityIndex(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts Options) (*Visibility, error) {
+	// Reuse Clean with thresholds of 1 to keep a single code path.
+	sweep := opts
+	sweep.MinCollectors = 1
+	sweep.MinPeerASes = 1
+	sweep.LengthFilter = false
+	snap, _, err := Clean(sources, updateWarnings, sweep)
+	if err != nil {
+		return nil, err
+	}
+	v := &Visibility{
+		collectors: make([]uint8, len(snap.Prefixes)),
+		peerASes:   make([]uint16, len(snap.Prefixes)),
+		lengthOK:   make([]bool, len(snap.Prefixes)),
+	}
+	for p, pfx := range snap.Prefixes {
+		colls := map[string]struct{}{}
+		ases := map[uint32]struct{}{}
+		for vi, id := range snap.Routes[p] {
+			if id == aspath.Empty {
+				continue
+			}
+			colls[snap.VPs[vi].Collector] = struct{}{}
+			ases[snap.VPs[vi].ASN] = struct{}{}
+		}
+		if len(colls) > 255 {
+			v.collectors[p] = 255
+		} else {
+			v.collectors[p] = uint8(len(colls))
+		}
+		if len(ases) > 65535 {
+			v.peerASes[p] = 65535
+		} else {
+			v.peerASes[p] = uint16(len(ases))
+		}
+		v.lengthOK[p] = prefixset.Admissible(pfx)
+	}
+	return v, nil
+}
+
+// Count returns the number of prefixes admitted under a threshold pair
+// (with the length filter applied), reproducing one Table 7 cell.
+func (v *Visibility) Count(minCollectors, minPeerASes int) int {
+	n := 0
+	for p := range v.collectors {
+		if !v.lengthOK[p] {
+			continue
+		}
+		if int(v.collectors[p]) >= minCollectors && int(v.peerASes[p]) >= minPeerASes {
+			n++
+		}
+	}
+	return n
+}

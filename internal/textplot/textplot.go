@@ -1,0 +1,207 @@
+// Package textplot renders the small set of text artifacts the
+// experiment harness prints: aligned tables, CDF curves, and trend
+// series — terminal stand-ins for the paper's tables and figures.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned-column table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		seps := make([]string, cols)
+		for i := range seps {
+			seps[i] = strings.Repeat("-", widths[i])
+		}
+		line(seps)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named line of (x, y) points for a trend chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sample.
+type Point struct {
+	X, Y float64
+}
+
+// Chart renders small multi-series line charts with a shared x axis as
+// an ASCII grid (rows = y buckets, columns = x samples).
+type Chart struct {
+	Title      string
+	YLabel     string
+	Height     int // rows; default 12
+	Width      int // columns; default 60
+	YMin, YMax float64
+	FixedY     bool // use YMin/YMax instead of data range
+	Series     []Series
+}
+
+// marks used per series, in order.
+var marks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	height, width := c.Height, c.Width
+	if height <= 0 {
+		height = 12
+	}
+	if width <= 0 {
+		width = 60
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymin = math.Min(ymin, p.Y)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if c.FixedY {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if math.IsInf(xmin, 1) {
+		fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			x := int((p.X - xmin) / (xmax - xmin) * float64(width-1))
+			yf := (p.Y - ymin) / (ymax - ymin)
+			if yf < 0 {
+				yf = 0
+			}
+			if yf > 1 {
+				yf = 1
+			}
+			y := height - 1 - int(yf*float64(height-1))
+			grid[y][x] = mark
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		fmt.Fprintf(w, "  %8.1f |%s|\n", yv, string(row))
+	}
+	fmt.Fprintf(w, "  %8s  %s\n", "", axisLine(xmin, xmax, width))
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], s.Name))
+	}
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, " | "))
+	if c.YLabel != "" {
+		fmt.Fprintf(w, "  y: %s\n", c.YLabel)
+	}
+}
+
+func axisLine(xmin, xmax float64, width int) string {
+	left := fmt.Sprintf("%.4g", xmin)
+	right := fmt.Sprintf("%.4g", xmax)
+	gap := width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	return left + strings.Repeat("-", gap) + right
+}
+
+// CDF renders a cumulative distribution of integer counts (e.g. atom
+// sizes) as "P(X ≤ x)" rows at selected quantile-ish ticks.
+func CDF(w io.Writer, title string, counts []int, ticks []int) {
+	if len(counts) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	fmt.Fprintf(w, "%s (n=%d)\n", title, len(sorted))
+	for _, tick := range ticks {
+		n := sort.SearchInts(sorted, tick+1)
+		fmt.Fprintf(w, "  P(x <= %4d) = %5.1f%%\n", tick, 100*float64(n)/float64(len(sorted)))
+	}
+}
+
+// Percent formats a ratio as "12.3%%"-style fixed width.
+func Percent(v float64) string {
+	if v < 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%5.1f%%", 100*v)
+}

@@ -1,0 +1,108 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table 1: stats",
+		Headers: []string{"Metric", "2004", "2024"},
+	}
+	tbl.AddRow("Prefixes", "131,526", "1,028,444")
+	tbl.AddRow("Mean", "3.84", "2.13")
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Table 1: stats", "Metric", "131,526", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Alignment: all data lines share the column start of the header.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	col := strings.Index(lines[1], "2004")
+	if col < 0 || !strings.HasPrefix(lines[3][col:], "131,526") {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"A"}}
+	tbl.AddRow("x", "extra", "more")
+	var b strings.Builder
+	tbl.Render(&b) // must not panic
+	if !strings.Contains(b.String(), "extra") {
+		t.Error("ragged cell lost")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := &Chart{
+		Title:  "Fig 5: stability",
+		Height: 6, Width: 30,
+		Series: []Series{
+			{Name: "CAM", Points: []Point{{2004, 96}, {2014, 90}, {2024, 84}}},
+			{Name: "MPM", Points: []Point{{2004, 98}, {2014, 94}, {2024, 90}}},
+		},
+	}
+	var b strings.Builder
+	ch.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Fig 5", "legend: * CAM | o MPM", "2004", "2024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var b strings.Builder
+	(&Chart{Title: "empty"}).Render(&b)
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartFixedY(t *testing.T) {
+	ch := &Chart{FixedY: true, YMin: 0, YMax: 100, Height: 4, Width: 10,
+		Series: []Series{{Name: "s", Points: []Point{{0, 50}, {1, 200}}}}}
+	var b strings.Builder
+	ch.Render(&b) // out-of-range point clamps, no panic
+	if !strings.Contains(b.String(), "100.0") {
+		t.Error("fixed range not used")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var b strings.Builder
+	CDF(&b, "sizes", []int{1, 1, 1, 2, 3, 10}, []int{1, 2, 5, 10})
+	out := b.String()
+	if !strings.Contains(out, "P(x <=    1) =  50.0%") {
+		t.Errorf("bad CDF:\n%s", out)
+	}
+	if !strings.Contains(out, "P(x <=   10) = 100.0%") {
+		t.Errorf("bad CDF tail:\n%s", out)
+	}
+	b.Reset()
+	CDF(&b, "none", nil, []int{1})
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("empty CDF")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.123); got != " 12.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(-1); got != "   n/a" {
+		t.Errorf("Percent(-1) = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+package topology
+
+import "testing"
+
+func TestGroupDist(t *testing.T) {
+	p := DefaultParams(5)
+	p.Scale = 0.02
+	g := Generate(p, EraOf(2004, 1))
+	countHist := map[int]int{}
+	multiByCount := map[int][2]int{} // count class → [total, multi]
+	for _, a := range g.OriginASes() {
+		if a.ASN < originBase {
+			continue
+		}
+		c, grps := 0, 0
+		for _, grp := range a.Groups {
+			if !grp.V6 {
+				grps++
+				c += len(grp.Prefixes)
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		bucket := c
+		if bucket > 10 {
+			bucket = 11
+		}
+		countHist[bucket]++
+		e := multiByCount[bucket]
+		e[0]++
+		if grps > 1 {
+			e[1]++
+		}
+		multiByCount[bucket] = e
+	}
+	for c := 1; c <= 11; c++ {
+		e := multiByCount[c]
+		t.Logf("prefixes=%d: ASes=%d multiGroup=%d", c, e[0], e[1])
+	}
+}

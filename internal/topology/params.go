@@ -1,0 +1,157 @@
+package topology
+
+// Params controls the generator. The zero value is not useful; start
+// from DefaultParams.
+//
+// Counts are expressed at *paper scale* and multiplied by Scale, except
+// per-AS quantities (prefixes per AS, atom sizes), which are absolute —
+// scaling the number of ASes while keeping per-AS distributions intact
+// preserves the shape of every per-AS and per-atom statistic.
+type Params struct {
+	Seed  uint64
+	Scale float64 // fraction of paper scale (1.0 ≈ the real Internet)
+
+	// Curves hold the era-interpolated knobs; DefaultParams fills them
+	// with values calibrated against the paper's Tables 1, 2 and 4.
+	Curves Curves
+}
+
+// Curve is a knob with values pinned at 2002, 2004 and 2024; values
+// between are linearly interpolated, outside clamped.
+type Curve struct {
+	V2002, V2004, V2024 float64
+}
+
+// At evaluates the curve at an era.
+func (c Curve) At(e Era) float64 {
+	if e >= 0 {
+		return c.V2004 + (c.V2024-c.V2004)*e.t()
+	}
+	// 2002Q1 = -8 … 2004Q1 = 0.
+	f := (float64(e) + 8) / 8
+	if f < 0 {
+		f = 0
+	}
+	return c.V2002 + (c.V2004-c.V2002)*f
+}
+
+// Curves bundles every era-dependent generator knob.
+type Curves struct {
+	// OriginASes is the number of prefix-originating ASes (paper scale).
+	OriginASes Curve
+	// TransitASes is the size of the transit core (paper scale; scaled
+	// by sqrt(Scale) so small worlds keep realistic path lengths).
+	TransitASes Curve
+	// ContentShare is the fraction of origin ASes that are content/cloud
+	// networks (high peering degree).
+	ContentShare Curve
+	// MultihomedShare is the fraction of origin ASes with >1 provider.
+	MultihomedShare Curve
+	// PrefixGrowth scales each AS's lifetime-maximum prefix count to the
+	// era's count (prefix fragmentation over time).
+	PrefixGrowth Curve
+	// SmallASShare is the probability an AS is in the 1–2 prefix class.
+	SmallASShare Curve
+	// PrefixTailAlpha is the Pareto shape of the large-AS prefix-count
+	// tail (smaller = heavier).
+	PrefixTailAlpha Curve
+	// PrefixTailCap caps per-AS prefix counts (absolute).
+	PrefixTailCap Curve
+	// SplitProb is the per-extra-prefix probability of starting a new
+	// policy group at the origin (origin policy granularity).
+	SplitProb Curve
+	// SameAnnounceShare is the probability that a new group reuses the
+	// previous group's announce set (so it can only split via transit
+	// policy or prepending — the distance-3 mechanism).
+	SameAnnounceShare Curve
+	// PrependGroupProb is the probability that a group that reuses an
+	// announce set differs only in origin prepending (distance-1 splits
+	// attributed to prepending).
+	PrependGroupProb Curve
+	// TransitSelectivity is the per-(unit,neighbor) probability that a
+	// transit does not export (selective export).
+	TransitSelectivity Curve
+	// TransitPrependRate is the per-(unit,neighbor) probability that a
+	// transit prepends itself on export.
+	TransitPrependRate Curve
+	// PeeringDensity is the probability of a peering link between two
+	// transit ASes (Internet flattening).
+	PeeringDensity Curve
+	// OrgChainProb is the probability an origin AS heads a sibling-AS
+	// chain (DoD-style organizations).
+	OrgChainProb Curve
+	// MOASShare is the fraction of prefixes also originated by a second
+	// AS (kept under the paper's observed 5%).
+	MOASShare Curve
+	// V6Share is the fraction of origin ASes participating in IPv6
+	// (zero before 2008).
+	V6Share Curve
+	// V6PrefixGrowth scales v6 per-AS prefix counts.
+	V6PrefixGrowth Curve
+	// V6SplitProb is the v6 analogue of SplitProb (coarser TE).
+	V6SplitProb Curve
+	// FITIASes is the number of FITI-style single-/32 ASes injected from
+	// 2021 on (paper scale).
+	FITIASes Curve
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams(seed uint64) Params {
+	return Params{
+		Seed:  seed,
+		Scale: 0.02,
+		Curves: Curves{
+			OriginASes:         Curve{12500, 16490, 76672},
+			TransitASes:        Curve{110, 140, 420},
+			ContentShare:       Curve{0.02, 0.03, 0.15},
+			MultihomedShare:    Curve{0.42, 0.46, 0.70},
+			PrefixGrowth:       Curve{0.72, 0.65, 1.00},
+			SmallASShare:       Curve{0.40, 0.40, 0.40},
+			PrefixTailAlpha:    Curve{0.88, 0.88, 0.88},
+			PrefixTailCap:      Curve{1200, 1200, 3600},
+			SplitProb:          Curve{0.36, 0.42, 0.30},
+			SameAnnounceShare:  Curve{0.25, 0.25, 0.55},
+			PrependGroupProb:   Curve{0.04, 0.04, 0.06},
+			TransitSelectivity: Curve{0.085, 0.10, 0.18},
+			TransitPrependRate: Curve{0.010, 0.010, 0.030},
+			PeeringDensity:     Curve{0.08, 0.10, 0.30},
+			OrgChainProb:       Curve{0.010, 0.010, 0.020},
+			MOASShare:          Curve{0.020, 0.020, 0.025},
+			V6Share:            Curve{0, 0, 0.445},
+			V6PrefixGrowth:     Curve{0, 0.10, 1.00},
+			V6SplitProb:        Curve{0.45, 0.45, 0.31},
+			FITIASes:           Curve{0, 0, 4096},
+		},
+	}
+}
+
+// v6ShareAt evaluates V6Share with the pre-2008 zero floor.
+func (p *Params) v6ShareAt(e Era) float64 {
+	if e < EraOf(2008, 1) {
+		return 0
+	}
+	// Ramp from ~1% at 2008 to the 2024 value.
+	t := float64(e-EraOf(2008, 1)) / float64(EraOf(2024, 4)-EraOf(2008, 1))
+	if t > 1 {
+		t = 1
+	}
+	start := 0.01
+	return start + (p.Curves.V6Share.V2024-start)*t
+}
+
+// fitiAt evaluates FITIASes with the 2021 step.
+func (p *Params) fitiAt(e Era) float64 {
+	if e < EraOf(2021, 1) {
+		return 0
+	}
+	return p.Curves.FITIASes.V2024
+}
+
+// scaled applies Scale with a floor.
+func scaled(v, scale float64, floor int) int {
+	n := int(v*scale + 0.5)
+	if n < floor {
+		n = floor
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+package topology
+
+import "testing"
+
+func TestSeedCompare(t *testing.T) {
+	for _, seed := range []uint64{5, 7, 9} {
+		for _, scale := range []float64{0.01, 0.02} {
+			p := DefaultParams(seed)
+			p.Scale = scale
+			g := Generate(p, EraOf(2004, 1))
+			v4, _ := g.TotalPrefixes()
+			origins := 0
+			multi := 0
+			maxp := 0
+			for _, a := range g.OriginASes() {
+				v4g := 0
+				pc := 0
+				for _, grp := range a.Groups {
+					if !grp.V6 {
+						v4g++
+						pc += len(grp.Prefixes)
+					}
+				}
+				if v4g > 0 {
+					origins++
+				}
+				if v4g > 1 {
+					multi++
+				}
+				if pc > maxp {
+					maxp = pc
+				}
+			}
+			t.Logf("seed=%d scale=%v: v4=%d origins=%d v4/AS=%.2f multiGroup=%d maxPrefixes=%d",
+				seed, scale, v4, origins, float64(v4)/float64(origins), multi, maxp)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package topology
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Tier classifies an AS's role in the hierarchy.
+type Tier uint8
+
+// Tiers. Clique ASes form the fully-meshed top (Tier 1); Transit ASes
+// sell transit below them; Content ASes originate prefixes and peer
+// widely (the "flattening" actors); Stub ASes only originate.
+const (
+	TierClique Tier = iota + 1
+	TierTransit
+	TierContent
+	TierStub
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierClique:
+		return "clique"
+	case TierTransit:
+		return "transit"
+	case TierContent:
+		return "content"
+	case TierStub:
+		return "stub"
+	default:
+		return "unknown"
+	}
+}
+
+// AS is one autonomous system and its policy disposition.
+type AS struct {
+	ASN   uint32
+	Index int // creation index within its tier
+	Tier  Tier
+	// Org groups sibling ASes run by one organization (0 = standalone).
+	Org uint32
+
+	Providers []uint32
+	Peers     []uint32
+	Customers []uint32
+
+	// HasV6 marks IPv6 participation in the graph's era.
+	HasV6 bool
+
+	// Selectivity is the probability that this AS, acting as transit,
+	// silently does not export a given routing unit to a given neighbor
+	// (selective export, the paper's §4.3 mechanism for distance-3+
+	// atom splits). Evaluated per (unit, neighbor) by Graph.Exports.
+	Selectivity float64
+	// PrependRate is the probability that this AS prepends itself when
+	// exporting a given unit to a given neighbor.
+	PrependRate float64
+
+	// Groups are the routing units (policy groups) this AS originates.
+	Groups []*PolicyGroup
+}
+
+// AnnouncePolicy is the origin's export behavior for one neighbor.
+type AnnouncePolicy struct {
+	// Prepend is the number of extra copies of the origin ASN prepended
+	// when announcing to this neighbor (0 = plain announcement).
+	Prepend int
+}
+
+// PolicyGroup is a routing unit: a set of prefixes that the origin AS
+// treats identically — announced to the same neighbors with the same
+// prepending. Policy atoms are *observed* groups; a PolicyGroup is the
+// generative intent. Atoms and groups coincide except when transit
+// policies split a group's observed paths or two groups collapse to
+// identical paths everywhere.
+type PolicyGroup struct {
+	ID     int // globally unique, dense
+	Origin uint32
+	V6     bool
+	// SigID identifies the group's policy signature: groups of the same
+	// origin with identical announce policies share a SigID. Signature
+	// peers are one *configured* policy that the generator split only so
+	// transit-level hashing can diverge them; churn treats a signature
+	// as one unit of change (identically-configured prefixes change
+	// together), which is what makes observationally-merged atoms
+	// co-update in the wire stream.
+	SigID int
+	// Prefixes originated in this group.
+	Prefixes []netip.Prefix
+	// Announce maps a neighbor ASN of the origin to the export policy;
+	// neighbors absent from the map do not receive this unit.
+	Announce map[uint32]AnnouncePolicy
+}
+
+// Graph is the generated Internet at one era.
+type Graph struct {
+	Era    Era
+	Seed   uint64
+	Params Params
+
+	ASes   []*AS // ascending ASN
+	byASN  map[uint32]*AS
+	Groups []*PolicyGroup // all units, ID-indexed
+
+	// CliqueASNs lists the Tier-1 mesh.
+	CliqueASNs []uint32
+}
+
+// AS returns the AS with the given ASN, or nil.
+func (g *Graph) AS(asn uint32) *AS { return g.byASN[asn] }
+
+// NumASes returns the total AS count (including non-originating core).
+func (g *Graph) NumASes() int { return len(g.ASes) }
+
+// OriginASes returns all ASes that originate at least one group, in
+// ascending ASN order.
+func (g *Graph) OriginASes() []*AS {
+	var out []*AS
+	for _, a := range g.ASes {
+		if len(a.Groups) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TotalPrefixes counts originated prefixes (v4 + v6).
+func (g *Graph) TotalPrefixes() (v4, v6 int) {
+	for _, u := range g.Groups {
+		if u.V6 {
+			v6 += len(u.Prefixes)
+		} else {
+			v4 += len(u.Prefixes)
+		}
+	}
+	return
+}
+
+// Exports decides whether AS `from` exports unit u to neighbor `to`,
+// and with how many extra prepends of from's own ASN. It implements the
+// deterministic transit-policy hash: stable across snapshots unless a
+// churn overlay overrides it.
+//
+// Selective export only filters toward peers: customer routes are
+// revenue and always propagate to providers and customers, while
+// per-peer export policy ("do not announce in region X") is the classic
+// selective-export mechanism Kastanakis et al. document. Filtering the
+// peer crossings diversifies upper paths — the paper's distance-3 atom
+// splits — without making prefixes globally invisible.
+func (g *Graph) Exports(from *AS, u *PolicyGroup, to uint32) (ok bool, prepend int) {
+	if from.Selectivity > 0 && isPeerOfAS(from, to) {
+		if unit(g.Seed, 0x5e1ec, uint64(from.ASN), uint64(u.ID), uint64(to)) < from.Selectivity {
+			return false, 0
+		}
+	}
+	if from.PrependRate > 0 {
+		if unit(g.Seed, 0x93e9d, uint64(from.ASN), uint64(u.ID), uint64(to)) < from.PrependRate {
+			prepend = 1 + pick(2, g.Seed, 0x93e9e, uint64(from.ASN), uint64(u.ID), uint64(to))
+		}
+	}
+	return true, prepend
+}
+
+// NewGraph assembles a graph from explicit ASes and groups — for tests
+// and custom scenarios. Customer lists are derived from the Providers
+// lists (any pre-set Customers are discarded), peer lists must already
+// be symmetric, and groups must be densely ID-numbered from 0.
+func NewGraph(era Era, seed uint64, ases []*AS, groups []*PolicyGroup) *Graph {
+	g := &Graph{Era: era, Seed: seed, ASes: ases, Groups: groups}
+	byASN := make(map[uint32]*AS, len(ases))
+	for _, a := range ases {
+		a.Customers = nil
+		byASN[a.ASN] = a
+	}
+	for _, a := range ases {
+		for _, p := range a.Providers {
+			if prov := byASN[p]; prov != nil {
+				prov.Customers = append(prov.Customers, a.ASN)
+			}
+		}
+	}
+	g.finish()
+	return g
+}
+
+// isPeerOfAS reports whether asn is one of a's peers.
+func isPeerOfAS(a *AS, asn uint32) bool {
+	for _, p := range a.Peers {
+		if p == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// link records a provider-customer relationship on both ends.
+func link(provider, customer *AS) {
+	provider.Customers = append(provider.Customers, customer.ASN)
+	customer.Providers = append(customer.Providers, provider.ASN)
+}
+
+// peerLink records a peering on both ends.
+func peerLink(a, b *AS) {
+	a.Peers = append(a.Peers, b.ASN)
+	b.Peers = append(b.Peers, a.ASN)
+}
+
+// finish sorts adjacency lists and indexes the graph.
+func (g *Graph) finish() {
+	sort.Slice(g.ASes, func(i, j int) bool { return g.ASes[i].ASN < g.ASes[j].ASN })
+	g.byASN = make(map[uint32]*AS, len(g.ASes))
+	for _, a := range g.ASes {
+		sort.Slice(a.Providers, func(i, j int) bool { return a.Providers[i] < a.Providers[j] })
+		sort.Slice(a.Peers, func(i, j int) bool { return a.Peers[i] < a.Peers[j] })
+		sort.Slice(a.Customers, func(i, j int) bool { return a.Customers[i] < a.Customers[j] })
+		g.byASN[a.ASN] = a
+	}
+}
