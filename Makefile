@@ -1,0 +1,16 @@
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchmem
+
+# Full pre-merge check: vet + build + tests + race smoke.
+verify:
+	sh scripts/verify.sh

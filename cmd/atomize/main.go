@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	atomize [-family 4|6] [-afek2002] [-updates glob] data/*.rib.mrt
+//	atomize [-family 4|6] [-afek2002] [-updates glob] [-trace out.json] [-v] data/*.rib.mrt
 //
 // The collector name for each archive is derived from the file name
 // (everything before the first dot). Update archives, when given, feed
-// the abnormal-peer detection (§A8.3) before atom computation.
+// the abnormal-peer detection (§A8.3) before atom computation; archives
+// that match the glob but decode zero elements are reported, since a
+// bad glob would otherwise silently disable the detection.
+//
+// -trace writes a JSON run report (stage span tree + stream/sanitize
+// counters); -v prints the same report as a text tree on stderr;
+// -cpuprofile / -memprofile capture pprof profiles.
 package main
 
 import (
@@ -16,15 +22,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 
-	"repro/internal/bgp"
 	"repro/internal/bgpstream"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sanitize"
 	"repro/internal/textplot"
 )
+
+const tool = "atomize"
 
 func main() {
 	var (
@@ -33,24 +40,51 @@ func main() {
 		updates   = flag.String("updates", "", "glob of update archives for abnormal-peer detection")
 		formation = flag.Bool("formation", false, "also print the formation-distance distribution")
 	)
+	o := cli.NewObs(tool)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: atomize [flags] <rib.mrt>...")
-		os.Exit(2)
+		cli.Usage("atomize [flags] <rib.mrt>...")
 	}
+	o.Start()
+	defer o.Finish()
 
-	sources := loadSources(flag.Args())
+	lsp := o.Root.Child("load")
+	sources := cli.LoadSources(tool, flag.Args())
+	lsp.SetAttr("rib_archives", len(sources))
+	lsp.End()
+
 	var warnings []bgpstream.Warning
 	if *updates != "" {
+		usp := o.Root.Child("updates")
 		paths, err := filepath.Glob(*updates)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
-		us := bgpstream.NewStream(nil, loadSources(paths)...)
+		if len(paths) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: warning: -updates glob %q matched no files; abnormal-peer detection disabled\n", tool, *updates)
+			o.Registry.Counter("atomize.empty_update_archives").Inc()
+		}
+		us := bgpstream.NewStream(nil, cli.LoadSources(tool, paths)...)
+		us.SetMetrics(o.Registry)
 		if _, err := us.All(); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		warnings = us.Warnings()
+		// An archive that matched the glob but decoded nothing
+		// contributes no warnings — and therefore silently weakens the
+		// §A8.3 abnormal-peer detection. Surface it.
+		empty := 0
+		for collector, n := range us.SourceElemCounts() {
+			if n == 0 {
+				empty++
+				fmt.Fprintf(os.Stderr, "%s: warning: update archive %q decoded zero elements\n", tool, collector)
+				o.Registry.Counter("atomize.empty_update_archives").Inc()
+			}
+		}
+		usp.SetAttr("archives", len(paths))
+		usp.SetAttr("warnings", len(warnings))
+		usp.SetAttr("empty_archives", empty)
+		usp.End()
 	}
 
 	opts := sanitize.Defaults()
@@ -58,12 +92,17 @@ func main() {
 		opts = sanitize.Afek2002()
 	}
 	opts.Family = *family
+	opts.Span = o.Root
+	opts.Metrics = o.Registry
 	snap, rep, err := sanitize.Clean(sources, warnings, opts)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
-	atoms := core.ComputeAtoms(snap)
+	atoms := core.ComputeAtomsSpan(snap, o.Root)
+
+	ssp := o.Root.Child("stats")
 	st := atoms.Stats()
+	ssp.End()
 
 	tbl := &textplot.Table{Title: "Policy atom statistics", Headers: []string{"Metric", "Value"}}
 	tbl.AddRow("Vantage points", fmt.Sprint(len(snap.VPs)))
@@ -87,7 +126,7 @@ func main() {
 		}
 	}
 	if *formation {
-		res := metrics.FormationDistances(atoms, metrics.DefaultFormationOptions())
+		res := metrics.FormationDistancesSpan(atoms, metrics.DefaultFormationOptions(), o.Root)
 		ftbl := &textplot.Table{Title: "\nFormation distances", Headers: []string{"distance", "atoms", "share"}}
 		for d := 1; d < len(res.AtomsAtDistance); d++ {
 			if res.AtomsAtDistance[d] == 0 {
@@ -100,30 +139,9 @@ func main() {
 	}
 }
 
-func loadSources(paths []string) []bgpstream.Source {
-	var out []bgpstream.Source
-	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			fatal(err)
-		}
-		name := filepath.Base(p)
-		if i := strings.IndexByte(name, '.'); i > 0 {
-			name = name[:i]
-		}
-		out = append(out, bgpstream.BytesSource(name, data, bgp.Options{}))
-	}
-	return out
-}
-
 func max(a, b int) int {
 	if a > b {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atomize:", err)
-	os.Exit(1)
 }

@@ -19,9 +19,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/longitudinal"
 )
+
+const tool = "atomrepro"
 
 func main() {
 	var (
@@ -31,6 +34,7 @@ func main() {
 		seed  = flag.Uint64("seed", 7, "simulation seed")
 		slow  = flag.Bool("wire", false, "use the full MRT wire round-trip instead of the fast path")
 	)
+	o := cli.NewObs(tool)
 	flag.Parse()
 
 	if *list {
@@ -39,10 +43,13 @@ func main() {
 		}
 		return
 	}
+	o.Start()
+	defer o.Finish()
 
 	cfg := longitudinal.DefaultConfig(*seed)
 	cfg.Scale = *scale
 	cfg.FastPath = !*slow
+	cfg.Metrics = o.Registry
 
 	var selected []experiments.Experiment
 	switch *run {
@@ -66,11 +73,16 @@ func main() {
 	}
 
 	for _, e := range selected {
+		sp := o.Root.Child("experiment")
+		sp.SetAttr("id", e.ID)
+		ecfg := cfg
+		ecfg.Trace = sp // nest each experiment's era/stage spans
 		start := time.Now()
-		if err := e.Run(cfg, os.Stdout); err != nil {
+		if err := e.Run(ecfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		sp.End()
 		fmt.Printf("  [%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

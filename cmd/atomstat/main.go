@@ -5,50 +5,46 @@
 //
 // Usage:
 //
-//	atomstat [-family 4|6] [-grid] data/*.rib.mrt
+//	atomstat [-family 4|6] [-grid] [-trace out.json] [-v] data/*.rib.mrt
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"repro/internal/bgp"
-	"repro/internal/bgpstream"
+	"repro/internal/cli"
 	"repro/internal/sanitize"
 	"repro/internal/textplot"
 )
+
+const tool = "atomstat"
 
 func main() {
 	var (
 		family = flag.Int("family", 4, "address family: 4 or 6")
 		grid   = flag.Bool("grid", false, "print the Table 7 threshold sensitivity grid")
 	)
+	o := cli.NewObs(tool)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: atomstat [flags] <rib.mrt>...")
-		os.Exit(2)
+		cli.Usage("atomstat [flags] <rib.mrt>...")
 	}
-	var sources []bgpstream.Source
-	for _, p := range flag.Args() {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			fatal(err)
-		}
-		name := filepath.Base(p)
-		if i := strings.IndexByte(name, '.'); i > 0 {
-			name = name[:i]
-		}
-		sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
-	}
+	o.Start()
+	defer o.Finish()
+
+	lsp := o.Root.Child("load")
+	sources := cli.LoadSources(tool, flag.Args())
+	lsp.SetAttr("rib_archives", len(sources))
+	lsp.End()
 
 	opts := sanitize.Defaults()
 	opts.Family = *family
+	opts.Span = o.Root
+	opts.Metrics = o.Registry
 	_, rep, err := sanitize.Clean(sources, nil, opts)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
 	feeds := &textplot.Table{Title: "Feeds", Headers: []string{"vantage point", "prefixes", "dups", "priv-asn", "as-set", "loops", "full?"}}
@@ -69,10 +65,14 @@ func main() {
 	}
 
 	if *grid {
-		vis, err := sanitize.VisibilityIndex(sources, nil, opts)
+		gsp := o.Root.Child("visibility_grid")
+		gopts := opts
+		gopts.Span = gsp // nest the sweep's second pipeline pass
+		vis, err := sanitize.VisibilityIndex(sources, nil, gopts)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
+		gsp.End()
 		tbl := &textplot.Table{Title: "\nTable 7 sensitivity grid", Headers: []string{"collectors \\ peers", "1", "2", "3", "4", "5"}}
 		for c := 1; c <= 3; c++ {
 			row := []string{fmt.Sprint(c)}
@@ -83,9 +83,4 @@ func main() {
 		}
 		tbl.Render(os.Stdout)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atomstat:", err)
-	os.Exit(1)
 }

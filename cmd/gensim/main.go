@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gensim -out ./data -year 2024 -quarter 4 -scale 0.01 -seed 7
+//	gensim -out ./data -year 2024 -quarter 4 -scale 0.01 -seed 7 [-trace out.json] [-v]
 //
 // Writes one <collector>.rib.mrt and one <collector>.updates.mrt file
 // per simulated collector.
@@ -19,7 +19,11 @@ import (
 	"repro/internal/collector"
 	"repro/internal/longitudinal"
 	"repro/internal/topology"
+
+	"repro/internal/cli"
 )
+
+const tool = "gensim"
 
 func main() {
 	var (
@@ -31,18 +35,24 @@ func main() {
 		hours     = flag.Float64("update-hours", 4, "hours of updates after the snapshot")
 		artifacts = flag.Bool("artifacts", true, "inject the paper's data defects (ADD-PATH, AS65000, duplicates)")
 	)
+	o := cli.NewObs(tool)
 	flag.Parse()
+	o.Start()
+	defer o.Finish()
 
 	era := topology.EraOf(*year, *quarter)
 	cfg := longitudinal.DefaultConfig(*seed)
 	cfg.Scale = *scale
 	cfg.Artifacts = *artifacts
+	cfg.Trace = o.Root
+	cfg.Metrics = o.Registry
 	r := longitudinal.NewEraRun(cfg, era)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
+	rsp := o.Root.Child("build_ribs")
 	ts := collector.EpochOf(era)
 	ov := r.Model.OverlayAt(r.Graph, longitudinal.OffsetBase, r.Infra.FullFeedASNs())
 	snap := collector.BuildRIBs(r.Graph, r.Infra, ov, ts)
@@ -50,12 +60,16 @@ func main() {
 	for name, data := range snap.Archives {
 		path := filepath.Join(*out, name+".rib.mrt")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		total += len(data)
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
 	}
+	rsp.SetAttr("archives", len(snap.Archives))
+	rsp.SetAttr("bytes", total)
+	rsp.End()
 
+	usp := o.Root.Child("build_updates")
 	ucfg := collector.UpdateConfig{
 		Model:           r.Model,
 		FromT:           longitudinal.OffsetBase,
@@ -65,20 +79,21 @@ func main() {
 		FlapRate:        cfg.FlapRate.At(era),
 	}
 	updates := collector.BuildUpdates(r.Graph, r.Infra, ucfg)
+	updateBytes := 0
 	for name, data := range updates {
 		path := filepath.Join(*out, name+".updates.mrt")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		total += len(data)
+		updateBytes += len(data)
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
 	}
+	usp.SetAttr("archives", len(updates))
+	usp.SetAttr("bytes", updateBytes)
+	usp.End()
+
 	v4, v6 := r.Graph.TotalPrefixes()
 	fmt.Printf("era %v: %d ASes, %d v4 + %d v6 prefixes, %d collectors, %d full feeds, %d bytes total\n",
 		era, r.Graph.NumASes(), v4, v6, len(r.Infra.Collectors), len(r.Infra.FullFeedASNs()), total)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gensim:", err)
-	os.Exit(1)
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/aspath"
 	"repro/internal/bgp"
 	"repro/internal/mrt"
+	"repro/internal/obs"
 )
 
 // ElemType classifies a stream element.
@@ -69,12 +70,34 @@ type Elem struct {
 	OldState, NewState uint16
 }
 
+// Warning codes: stable, machine-readable categories for warn reasons.
+// The Reason string carries the human detail; the Code keys telemetry
+// counters (obs: bgpstream.warnings{reason=<code>,subtype=N}).
+const (
+	WarnRecordError       = "record-error"
+	WarnPeerIndexTable    = "peer-index-table"
+	WarnRIBRecord         = "rib-record"
+	WarnPeerIndexRange    = "peer-index-range"
+	WarnRIBAttrs          = "rib-attrs"
+	WarnUnknownTD2Subtype = "unknown-td2-subtype"
+	WarnStateChange       = "state-change"
+	WarnBGP4MPMessage     = "bgp4mp-message"
+	WarnUnknownBGP4MP     = "unknown-bgp4mp-subtype"
+	WarnUnknownMRTType    = "unknown-mrt-type"
+	WarnBGPHeader         = "bgp-header"
+	WarnUpdateParse       = "update-parse"
+	WarnAddPathSuspect    = "addpath-suspect"
+)
+
 // Warning records a record- or message-level parse problem.
 type Warning struct {
 	Collector string
 	PeerASN   uint32
 	Subtype   uint16
-	Reason    string
+	// Code is the stable category (Warn* constants).
+	Code string
+	// Reason is the human-readable detail.
+	Reason string
 }
 
 // Source is one MRT input attributed to a collector. Byte-backed
@@ -155,22 +178,78 @@ type Stream struct {
 	sources []Source
 	filter  *Filter
 
-	cur      int
-	reader   *mrt.Reader
-	peers    []mrt.Peer // current source's PEER_INDEX_TABLE
-	pending  []Elem
-	msgIndex int
-	warnings []Warning
+	cur       int
+	reader    *mrt.Reader
+	peers     []mrt.Peer // current source's PEER_INDEX_TABLE
+	pending   []Elem
+	msgIndex  int
+	warnings  []Warning
+	elemCount []int // per-source emitted elements (pre-filter)
+
+	// Telemetry (nil metrics = disabled; hot counters are cached so
+	// the enabled path skips per-record key building).
+	metrics      *obs.Registry
+	recordsC     *obs.Counter
+	filteredC    *obs.Counter
+	elemC        [5]*obs.Counter // indexed by ElemType
+	sourceElemC  *obs.Counter    // current source's per-collector counter
+	sourceForCtr int             // source index sourceElemC was built for
 }
 
 // NewStream builds a stream over the sources, applying the filter (nil
 // passes all).
 func NewStream(filter *Filter, sources ...Source) *Stream {
-	return &Stream{sources: sources, filter: filter}
+	return &Stream{sources: sources, filter: filter, elemCount: make([]int, len(sources)), sourceForCtr: -1}
+}
+
+// SetMetrics attaches a telemetry registry. The stream increments:
+//
+//	bgpstream.records                          MRT records decoded
+//	bgpstream.elems{type=R|A|W|S}              elements emitted (pre-filter)
+//	bgpstream.elems_filtered                   elements dropped by the filter
+//	bgpstream.source_elems{collector=...}      per-collector elements
+//	bgpstream.records_skipped{reason=...}      records dropped with a warning
+//	bgpstream.warnings{reason=...,subtype=N}   warnings by code and subtype
+//
+// A nil registry (the default) disables all of it at near-zero cost.
+func (s *Stream) SetMetrics(r *obs.Registry) {
+	s.metrics = r
+	s.recordsC = r.Counter("bgpstream.records")
+	s.filteredC = r.Counter("bgpstream.elems_filtered")
+	for t := ElemRIB; t <= ElemState; t++ {
+		s.elemC[t] = r.Counter("bgpstream.elems", "type", t.String())
+	}
+	s.sourceForCtr = -1
 }
 
 // Warnings returns parse problems encountered so far.
 func (s *Stream) Warnings() []Warning { return s.warnings }
+
+// SourceElemCounts returns, per collector, how many elements each
+// source emitted (pre-filter), summed across sources sharing a
+// collector name. A zero count flags an archive that matched but
+// decoded nothing — e.g. a bad -updates glob entry.
+func (s *Stream) SourceElemCounts() map[string]int {
+	out := make(map[string]int, len(s.sources))
+	for i, src := range s.sources {
+		out[src.Collector] += s.elemCount[i]
+	}
+	return out
+}
+
+// emit queues an element and does the per-element accounting.
+func (s *Stream) emit(e Elem) {
+	s.pending = append(s.pending, e)
+	s.elemCount[s.cur]++
+	if s.metrics != nil {
+		s.elemC[e.Type].Inc()
+		if s.sourceForCtr != s.cur {
+			s.sourceElemC = s.metrics.Counter("bgpstream.source_elems", "collector", s.sources[s.cur].Collector)
+			s.sourceForCtr = s.cur
+		}
+		s.sourceElemC.Inc()
+	}
+}
 
 // Next returns the next element, or io.EOF when all sources drain.
 func (s *Stream) Next() (Elem, error) {
@@ -181,6 +260,7 @@ func (s *Stream) Next() (Elem, error) {
 			if s.filter.Match(&e) {
 				return e, nil
 			}
+			s.filteredC.Inc()
 			continue
 		}
 		if s.reader == nil {
@@ -199,11 +279,12 @@ func (s *Stream) Next() (Elem, error) {
 		if err != nil {
 			// A corrupt record boundary is unrecoverable within the
 			// source; warn and move on to the next source.
-			s.warn(0, 0, fmt.Sprintf("record error: %v", err))
+			s.warn(0, 0, WarnRecordError, fmt.Sprintf("record error: %v", err))
 			s.reader = nil
 			s.cur++
 			continue
 		}
+		s.recordsC.Inc()
 		s.decode(rec)
 	}
 }
@@ -223,13 +304,22 @@ func (s *Stream) All() ([]Elem, error) {
 	}
 }
 
-func (s *Stream) warn(peerASN uint32, subtype uint16, reason string) {
+func (s *Stream) warn(peerASN uint32, subtype uint16, code, reason string) {
 	s.warnings = append(s.warnings, Warning{
 		Collector: s.sources[s.cur].Collector,
 		PeerASN:   peerASN,
 		Subtype:   subtype,
+		Code:      code,
 		Reason:    reason,
 	})
+	if s.metrics != nil {
+		s.metrics.Counter("bgpstream.warnings", "reason", code, "subtype", fmt.Sprint(subtype)).Inc()
+		if code != WarnAddPathSuspect {
+			// Every warning except the ADD-PATH heuristic means the
+			// record (or RIB entry) it covers was skipped.
+			s.metrics.Counter("bgpstream.records_skipped", "reason", code).Inc()
+		}
+	}
 }
 
 func (s *Stream) decode(rec mrt.Record) {
@@ -240,20 +330,20 @@ func (s *Stream) decode(rec mrt.Record) {
 		case rec.Subtype == mrt.SubPeerIndexTable:
 			pit, err := mrt.ParsePeerIndexTable(rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, fmt.Sprintf("peer index table: %v", err))
+				s.warn(0, rec.Subtype, WarnPeerIndexTable, fmt.Sprintf("peer index table: %v", err))
 				return
 			}
 			s.peers = pit.Peers
 		case rec.IsRIB():
 			rib, err := mrt.ParseRIB(rec.Subtype, rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, fmt.Sprintf("RIB record: %v", err))
+				s.warn(0, rec.Subtype, WarnRIBRecord, fmt.Sprintf("RIB record: %v", err))
 				return
 			}
 			s.msgIndex++
 			for _, entry := range rib.Entries {
 				if int(entry.PeerIndex) >= len(s.peers) {
-					s.warn(0, rec.Subtype, fmt.Sprintf("peer index %d out of range", entry.PeerIndex))
+					s.warn(0, rec.Subtype, WarnPeerIndexRange, fmt.Sprintf("peer index %d out of range", entry.PeerIndex))
 					continue
 				}
 				peer := s.peers[entry.PeerIndex]
@@ -261,7 +351,7 @@ func (s *Stream) decode(rec mrt.Record) {
 				// §4.3.4); ADD-PATH follows the record subtype.
 				attrs, err := bgp.ParseAttributes(entry.Attrs, bgp.Options{AS4: true, AddPath: rib.AddPath})
 				if err != nil {
-					s.warn(peer.ASN, rec.Subtype, fmt.Sprintf("RIB attributes: %v", err))
+					s.warn(peer.ASN, rec.Subtype, WarnRIBAttrs, fmt.Sprintf("RIB attributes: %v", err))
 					continue
 				}
 				e := Elem{
@@ -270,21 +360,21 @@ func (s *Stream) decode(rec mrt.Record) {
 					PathID: entry.PathID, MsgIndex: s.msgIndex,
 				}
 				applyAttrs(&e, attrs)
-				s.pending = append(s.pending, e)
+				s.emit(e)
 			}
 		default:
-			s.warn(0, rec.Subtype, fmt.Sprintf("unknown TABLE_DUMP_V2 record subtype %d", rec.Subtype))
+			s.warn(0, rec.Subtype, WarnUnknownTD2Subtype, fmt.Sprintf("unknown TABLE_DUMP_V2 record subtype %d", rec.Subtype))
 		}
 	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
 		switch rec.Subtype {
 		case mrt.SubStateChange, mrt.SubStateChangeAS4:
 			sc, err := mrt.ParseStateChange(rec.Subtype, rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, fmt.Sprintf("state change: %v", err))
+				s.warn(0, rec.Subtype, WarnStateChange, fmt.Sprintf("state change: %v", err))
 				return
 			}
 			s.msgIndex++
-			s.pending = append(s.pending, Elem{
+			s.emit(Elem{
 				Type: ElemState, Timestamp: rec.Timestamp, Collector: src.Collector,
 				PeerAddr: sc.PeerAddr, PeerASN: sc.PeerAS,
 				OldState: sc.OldState, NewState: sc.NewState, MsgIndex: s.msgIndex,
@@ -292,22 +382,22 @@ func (s *Stream) decode(rec mrt.Record) {
 		case mrt.SubMessage, mrt.SubMessageAS4, mrt.SubMessageAP, mrt.SubMessageAS4AP:
 			msg, err := mrt.ParseMessage(rec.Subtype, rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, fmt.Sprintf("BGP4MP message: %v", err))
+				s.warn(0, rec.Subtype, WarnBGP4MPMessage, fmt.Sprintf("BGP4MP message: %v", err))
 				return
 			}
 			s.decodeUpdate(rec, msg, src)
 		default:
-			s.warn(0, rec.Subtype, fmt.Sprintf("unknown BGP4MP record subtype %d", rec.Subtype))
+			s.warn(0, rec.Subtype, WarnUnknownBGP4MP, fmt.Sprintf("unknown BGP4MP record subtype %d", rec.Subtype))
 		}
 	default:
-		s.warn(0, rec.Subtype, fmt.Sprintf("unknown MRT record type %d", rec.Type))
+		s.warn(0, rec.Subtype, WarnUnknownMRTType, fmt.Sprintf("unknown MRT record type %d", rec.Type))
 	}
 }
 
 func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 	h, err := bgp.ParseHeader(msg.Data)
 	if err != nil {
-		s.warn(msg.PeerAS, rec.Subtype, fmt.Sprintf("BGP header: %v", err))
+		s.warn(msg.PeerAS, rec.Subtype, WarnBGPHeader, fmt.Sprintf("BGP header: %v", err))
 		return
 	}
 	if h.Type != bgp.MsgUpdate {
@@ -319,14 +409,14 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 	opt.AddPath = msg.AddPath
 	u, err := bgp.ParseUpdate(msg.Data, opt)
 	if err != nil {
-		s.warn(msg.PeerAS, rec.Subtype, fmt.Sprintf("UPDATE parse: %v", err))
+		s.warn(msg.PeerAS, rec.Subtype, WarnUpdateParse, fmt.Sprintf("UPDATE parse: %v", err))
 		return
 	}
 	// ADD-PATH mismatch signature: reading ADD-PATH NLRI as plain NLRI
 	// turns the 4-byte path identifiers into phantom default routes.
 	// Two or more /0 entries in one message is never legitimate.
 	if zeroRuns(u) >= 2 {
-		s.warn(msg.PeerAS, rec.Subtype, "suspicious NLRI: repeated zero-length prefixes (possible ADD-PATH mismatch)")
+		s.warn(msg.PeerAS, rec.Subtype, WarnAddPathSuspect, "suspicious NLRI: repeated zero-length prefixes (possible ADD-PATH mismatch)")
 	}
 	s.msgIndex++
 	base := Elem{
@@ -346,7 +436,7 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 		e.Type = ElemWithdraw
 		e.Prefix = n.Prefix
 		e.PathID = n.PathID
-		s.pending = append(s.pending, e)
+		s.emit(e)
 	}
 	for _, n := range u.Reachable() {
 		e := base
@@ -355,7 +445,7 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 		e.PathID = n.PathID
 		e.Path = path
 		e.Communities = comms
-		s.pending = append(s.pending, e)
+		s.emit(e)
 	}
 }
 

@@ -1,0 +1,157 @@
+// Package cli holds the plumbing shared by the repo's commands: fatal
+// error handling, MRT source loading with collector-name derivation,
+// and the observability flag bundle (-trace, -v, -cpuprofile,
+// -memprofile) that turns any command into a traced run emitting a
+// machine-readable report (see internal/obs).
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/bgpstream"
+	"repro/internal/obs"
+)
+
+// Fatal prints "<tool>: <err>" to stderr and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Usage prints a usage line to stderr and exits 2.
+func Usage(line string) {
+	fmt.Fprintln(os.Stderr, "usage:", line)
+	os.Exit(2)
+}
+
+// CollectorName derives the collector name from an archive path:
+// everything before the first dot of the base name ("rrc00.rib.mrt" →
+// "rrc00").
+func CollectorName(path string) string {
+	name := filepath.Base(path)
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return name
+}
+
+// LoadSources reads MRT archives into byte-backed stream sources,
+// attributing each to its derived collector name. Any read error is
+// fatal under the tool's name.
+func LoadSources(tool string, paths []string) []bgpstream.Source {
+	var out []bgpstream.Source
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			Fatal(tool, err)
+		}
+		out = append(out, bgpstream.BytesSource(CollectorName(p), data, bgp.Options{}))
+	}
+	return out
+}
+
+// Obs bundles a command's observability surface. Typical lifecycle:
+//
+//	o := cli.NewObs("atomize")      // registers flags
+//	flag.Parse()
+//	o.Start()                       // root span, registry, profiles
+//	defer o.Finish()                // write trace/report, stop profiles
+//	... pass o.Root / o.Registry down the pipeline ...
+//
+// When neither -trace nor -v is given, Root and Registry stay nil and
+// the entire instrumented pipeline runs on its no-op path; the pprof
+// flags work independently of tracing.
+type Obs struct {
+	Tool string
+	// Flag values.
+	TracePath  string
+	Verbose    bool
+	CPUProfile string
+	MemProfile string
+	// Root / Registry are non-nil between Start and Finish when
+	// tracing is enabled.
+	Root     *obs.Span
+	Registry *obs.Registry
+
+	cpuFile *os.File
+}
+
+// NewObs registers the observability flags on the default flag set.
+func NewObs(tool string) *Obs {
+	o := &Obs{Tool: tool}
+	flag.StringVar(&o.TracePath, "trace", "", "write a JSON run report (span tree + counters) to `file`")
+	flag.BoolVar(&o.Verbose, "v", false, "print the run report as a text tree to stderr")
+	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	flag.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to `file`")
+	return o
+}
+
+// Enabled reports whether tracing is on (-trace or -v given).
+func (o *Obs) Enabled() bool { return o.TracePath != "" || o.Verbose }
+
+// Start begins the run: creates the root span and registry when
+// tracing is enabled and starts the CPU profile when requested. Call
+// after flag.Parse.
+func (o *Obs) Start() {
+	if o.Enabled() {
+		o.Root = obs.Root(o.Tool)
+		o.Registry = obs.NewRegistry()
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			Fatal(o.Tool, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Fatal(o.Tool, err)
+		}
+		o.cpuFile = f
+	}
+}
+
+// Finish ends the run: closes the root span, writes the JSON report
+// and/or text tree, and flushes profiles. Safe to call when disabled.
+func (o *Obs) Finish() {
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		o.cpuFile.Close()
+		o.cpuFile = nil
+	}
+	if o.MemProfile != "" {
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			Fatal(o.Tool, err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			Fatal(o.Tool, err)
+		}
+		f.Close()
+	}
+	if !o.Enabled() {
+		return
+	}
+	o.Root.End()
+	report := obs.BuildReport(o.Tool, os.Args[1:], o.Root, o.Registry)
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			Fatal(o.Tool, err)
+		}
+		err = report.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			Fatal(o.Tool, err)
+		}
+	}
+	if o.Verbose {
+		report.WriteText(os.Stderr)
+	}
+}

@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCollectorName(t *testing.T) {
+	cases := map[string]string{
+		"/data/rrc00.rib.mrt":          "rrc00",
+		"route-views2.updates.mrt":     "route-views2",
+		"plain":                        "plain",
+		"/deep/path/rrc21.2024.q4.mrt": "rrc21",
+		".hidden":                      ".hidden", // no name before the dot: keep as-is
+	}
+	for in, want := range cases {
+		if got := CollectorName(in); got != want {
+			t.Errorf("CollectorName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadSources(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "rrc00.rib.mrt")
+	if err := os.WriteFile(p, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srcs := LoadSources("test", []string{p})
+	if len(srcs) != 1 || srcs[0].Collector != "rrc00" || len(srcs[0].Data) != 3 {
+		t.Errorf("sources = %+v", srcs)
+	}
+}
+
+func TestObsDisabled(t *testing.T) {
+	o := &Obs{Tool: "test"}
+	o.Start()
+	if o.Enabled() || o.Root != nil || o.Registry != nil {
+		t.Error("disabled Obs must not allocate telemetry")
+	}
+	// The nil Root/Registry must be usable downstream.
+	o.Root.Child("x").End()
+	o.Registry.Counter("c").Inc()
+	o.Finish() // must not write anything or crash
+}
+
+func TestObsTraceReport(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.json")
+	o := &Obs{Tool: "test", TracePath: trace}
+	o.Start()
+	if o.Root == nil || o.Registry == nil {
+		t.Fatal("enabled Obs must build root and registry")
+	}
+	sp := o.Root.Child("stage")
+	sp.SetAttr("n", 7)
+	sp.End()
+	o.Registry.Counter("c", "k", "v").Add(3)
+	o.Finish()
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tool string `json:"tool"`
+		Span struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"span"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Tool != "test" || rep.Span.Name != "test" {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(rep.Span.Children) != 1 || rep.Span.Children[0].Name != "stage" {
+		t.Errorf("span children = %+v", rep.Span.Children)
+	}
+	if rep.Metrics.Counters["c{k=v}"] != 3 {
+		t.Errorf("counters = %+v", rep.Metrics.Counters)
+	}
+}
+
+func TestObsProfiles(t *testing.T) {
+	dir := t.TempDir()
+	o := &Obs{Tool: "test", CPUProfile: filepath.Join(dir, "cpu.pprof"), MemProfile: filepath.Join(dir, "mem.pprof")}
+	o.Start()
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	o.Finish()
+	for _, p := range []string{o.CPUProfile, o.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

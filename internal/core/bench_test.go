@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"repro/internal/aspath"
+	"repro/internal/obs"
+)
+
+// benchSnapshot builds a snapshot shaped like a small sanitized table:
+// nPrefix prefixes × nVP vantage points, with runs of prefixes sharing a
+// path vector (so atoms of size >1 exist) and some per-VP variation.
+func benchSnapshot(nPrefix, nVP int) *Snapshot {
+	vps := make([]VP, nVP)
+	for v := range vps {
+		vps[v] = VP{Collector: fmt.Sprintf("rrc%02d", v%4), ASN: uint32(3000 + v)}
+	}
+	prefixes := make([]netip.Prefix, nPrefix)
+	for p := range prefixes {
+		prefixes[p] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(p >> 8), byte(p), 0}), 24)
+	}
+	s := NewSnapshot(0, vps, prefixes)
+	for p := 0; p < nPrefix; p++ {
+		group := p / 7 // ~7-prefix atoms
+		for v := 0; v < nVP; v++ {
+			if (p+v)%13 == 0 {
+				continue // leave some paths empty
+			}
+			s.SetRoute(p, v, aspath.Seq{uint32(3000 + v), uint32(100 + group%50), uint32(65000 + group)})
+		}
+	}
+	return s
+}
+
+// BenchmarkComputeAtoms measures the exported entry point with telemetry
+// disabled (nil span) — the path every non-traced run takes.
+func BenchmarkComputeAtoms(b *testing.B) {
+	s := benchSnapshot(2000, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if as := ComputeAtoms(s); len(as.Atoms) == 0 {
+			b.Fatal("no atoms")
+		}
+	}
+}
+
+// BenchmarkComputeAtomsBare measures the internal implementation without
+// the telemetry wrapper. Comparing against BenchmarkComputeAtoms bounds
+// the disabled-telemetry overhead (must stay <2%, per DESIGN.md).
+func BenchmarkComputeAtomsBare(b *testing.B) {
+	s := benchSnapshot(2000, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if as := computeAtoms(s); len(as.Atoms) == 0 {
+			b.Fatal("no atoms")
+		}
+	}
+}
+
+// BenchmarkComputeAtomsTraced measures the fully enabled path: a live
+// span with memory stats, parented under a root.
+func BenchmarkComputeAtomsTraced(b *testing.B) {
+	s := benchSnapshot(2000, 50)
+	root := obs.Root("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if as := ComputeAtomsSpan(s, root); len(as.Atoms) == 0 {
+			b.Fatal("no atoms")
+		}
+	}
+}

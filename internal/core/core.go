@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/aspath"
+	"repro/internal/obs"
 )
 
 // VP identifies a vantage point: one peer feed at one collector.
@@ -105,7 +106,27 @@ var atomSeed = maphash.MakeSeed()
 // ComputeAtoms groups prefixes with identical path vectors. The grouping
 // hashes each row and verifies exactly on collision, so results are
 // independent of hash quality. Runs in O(prefixes × VPs).
-func ComputeAtoms(s *Snapshot) *AtomSet {
+func ComputeAtoms(s *Snapshot) *AtomSet { return ComputeAtomsSpan(s, nil) }
+
+// ComputeAtomsSpan is ComputeAtoms with stage tracing: when parent is
+// non-nil a child span records the wall time, allocation delta, and
+// input/output cardinalities (prefixes, VPs, atoms). A nil parent is
+// the zero-cost path ComputeAtoms takes.
+func ComputeAtomsSpan(s *Snapshot, parent *obs.Span) *AtomSet {
+	if parent == nil {
+		// Skip even the attr boxing: disabled tracing costs nothing.
+		return computeAtoms(s)
+	}
+	sp := parent.Child("core.compute_atoms")
+	as := computeAtoms(s)
+	sp.SetAttr("prefixes", len(s.Prefixes))
+	sp.SetAttr("vps", len(s.VPs))
+	sp.SetAttr("atoms", len(as.Atoms))
+	sp.End()
+	return as
+}
+
+func computeAtoms(s *Snapshot) *AtomSet {
 	type bucket struct {
 		rows []int // representative prefix rows, one per distinct vector
 		atom []int // parallel: atom index

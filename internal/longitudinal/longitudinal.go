@@ -16,6 +16,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/sanitize"
 	"repro/internal/topology"
@@ -49,6 +50,14 @@ type Config struct {
 	RefreshRate topology.Curve
 	// MaxK bounds the update-correlation size axis.
 	MaxK int
+	// Trace, when non-nil, receives one child span per era and stage
+	// (generation, each snapshot, the update window, each analysis), so
+	// a 20-year study emits a single navigable trace. Nil disables
+	// tracing at near-zero cost.
+	Trace *obs.Span
+	// Metrics, when non-nil, receives the stream/sanitize counters for
+	// every stage of the run.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the calibrated configuration.
@@ -103,6 +112,8 @@ func NewEraRun(cfg Config, era topology.Era) *EraRun {
 	if cfg.MaxK == 0 {
 		cfg.MaxK = 7
 	}
+	sp := cfg.Trace.Child("era.generate")
+	sp.SetAttr("era", era.String())
 	tp := topology.DefaultParams(cfg.Seed)
 	if cfg.Scale > 0 {
 		tp.Scale = cfg.Scale
@@ -132,7 +143,12 @@ func NewEraRun(cfg Config, era topology.Era) *EraRun {
 		VPShiftShare:       cfg.VPShiftShare,
 		RefreshRate:        cfg.RefreshRate.At(era),
 	}
-	return &EraRun{Cfg: cfg, Era: era, Graph: g, Infra: in, Model: model, vps: in.FullFeedASNs()}
+	run := &EraRun{Cfg: cfg, Era: era, Graph: g, Infra: in, Model: model, vps: in.FullFeedASNs()}
+	sp.SetAttr("ases", g.NumASes())
+	sp.SetAttr("collectors", len(in.Collectors))
+	sp.SetAttr("full_feeds", len(run.vps))
+	sp.End()
+	return run
 }
 
 // sanitizeOptions resolves the effective cleaning options.
@@ -159,6 +175,9 @@ func (r *EraRun) timestamp(t float64) uint32 {
 // SnapshotAt builds and sanitizes the snapshot at day offset t (days
 // since quarter start; the first paper snapshot is OffsetBase).
 func (r *EraRun) SnapshotAt(t float64) (*core.AtomSet, *sanitize.Report, error) {
+	sp := r.Cfg.Trace.Child("snapshot")
+	sp.SetAttr("t", t)
+	defer sp.End()
 	ov := r.Model.OverlayAt(r.Graph, t, r.vps)
 	ts := r.timestamp(t)
 	warnings, err := r.updateWarnings()
@@ -166,28 +185,43 @@ func (r *EraRun) SnapshotAt(t float64) (*core.AtomSet, *sanitize.Report, error) 
 		return nil, nil, err
 	}
 	opts := r.sanitizeOptions()
+	opts.Span = sp
+	opts.Metrics = r.Cfg.Metrics
 	var snap *core.Snapshot
 	var rep *sanitize.Report
 	if r.Cfg.FastPath {
+		bsp := sp.Child("collector.build_feeds")
 		feeds := collector.BuildFeeds(r.Graph, r.Infra, ov, ts)
+		bsp.SetAttr("feeds", len(feeds))
+		bsp.End()
 		snap, rep, err = sanitize.CleanFeeds(feeds, warnings, opts)
 	} else {
+		bsp := sp.Child("collector.build_ribs")
 		ribs := collector.BuildRIBs(r.Graph, r.Infra, ov, ts)
 		var sources []bgpstream.Source
+		totalBytes := 0
 		for name, data := range ribs.Archives {
 			sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
+			totalBytes += len(data)
 		}
+		bsp.SetAttr("archives", len(sources))
+		bsp.SetAttr("bytes", totalBytes)
+		bsp.End()
 		snap, rep, err = sanitize.Clean(sources, warnings, opts)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.ComputeAtoms(snap), rep, nil
+	return core.ComputeAtomsSpan(snap, sp), rep, nil
 }
 
 // Updates synthesizes the update window starting at day offset t and
 // returns the per-message records.
 func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstream.Warning, error) {
+	sp := r.Cfg.Trace.Child("updates")
+	sp.SetAttr("from_t", fromT)
+	sp.SetAttr("to_t", toT)
+	defer sp.End()
 	cfg := collector.UpdateConfig{
 		Model:           r.Model,
 		FromT:           fromT,
@@ -196,16 +230,22 @@ func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstrea
 		FullMessageProb: r.Cfg.FullMessageProb.At(r.Era),
 		FlapRate:        r.Cfg.FlapRate.At(r.Era),
 	}
+	bsp := sp.Child("collector.build_updates")
 	archives := collector.BuildUpdates(r.Graph, r.Infra, cfg)
 	var sources []bgpstream.Source
+	totalBytes := 0
 	for name, data := range archives {
 		sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
+		totalBytes += len(data)
 	}
+	bsp.SetAttr("archives", len(sources))
+	bsp.SetAttr("bytes", totalBytes)
+	bsp.End()
 	filter := &bgpstream.Filter{
 		V4Only: r.Cfg.Family == 4,
 		V6Only: r.Cfg.Family == 6,
 	}
-	return metrics.CollectRecords(sources, filter)
+	return metrics.CollectRecordsObs(sources, filter, r.Cfg.Metrics, sp)
 }
 
 // updateWarnings lazily computes the standard 4-hour update window's
@@ -242,6 +282,10 @@ type EraResult struct {
 
 // RunEra executes the complete per-era pipeline.
 func RunEra(cfg Config, era topology.Era) (*EraResult, error) {
+	sp := cfg.Trace.Child("longitudinal.run_era")
+	sp.SetAttr("era", era.String())
+	defer sp.End()
+	cfg.Trace = sp // nest every stage under this era
 	r := NewEraRun(cfg, era)
 	base, rep, err := r.SnapshotAt(OffsetBase)
 	if err != nil {
@@ -263,17 +307,20 @@ func RunEra(cfg Config, era topology.Era) (*EraResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EraResult{
+	res := &EraResult{
 		Era:       era,
 		Stats:     base.Stats(),
 		Report:    rep,
-		Formation: metrics.FormationDistances(base, metrics.DefaultFormationOptions()),
-		Stab8h:    metrics.CompareStability(base, s8),
-		Stab24h:   metrics.CompareStability(base, s24),
-		Stab1w:    metrics.CompareStability(base, s1w),
-		Corr:      metrics.CorrelateUpdates(base, records, cfg.MaxK),
+		Formation: metrics.FormationDistancesSpan(base, metrics.DefaultFormationOptions(), sp),
+		Stab8h:    metrics.CompareStabilitySpan(base, s8, sp),
+		Stab24h:   metrics.CompareStabilitySpan(base, s24, sp),
+		Stab1w:    metrics.CompareStabilitySpan(base, s1w, sp),
+		Corr:      metrics.CorrelateUpdatesSpan(base, records, cfg.MaxK, sp),
 		Atoms:     base,
-	}, nil
+	}
+	sp.SetAttr("atoms", res.Stats.Atoms)
+	sp.SetAttr("prefixes", res.Stats.Prefixes)
+	return res, nil
 }
 
 // TrendPoint is one era's condensed numbers for the trend figures.
@@ -293,24 +340,32 @@ type TrendPoint struct {
 
 // RunTrend runs the pipeline across eras (Figures 4, 5, 9, 11, 12, 13).
 func RunTrend(cfg Config, eras []topology.Era) ([]TrendPoint, error) {
+	root := cfg.Trace
 	var out []TrendPoint
 	for _, era := range eras {
-		r := NewEraRun(cfg, era)
+		sp := root.Child("longitudinal.trend_era")
+		sp.SetAttr("era", era.String())
+		ecfg := cfg
+		ecfg.Trace = sp
+		r := NewEraRun(ecfg, era)
 		base, rep, err := r.SnapshotAt(OffsetBase)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		s8, _, err := r.SnapshotAt(OffsetBase + Offset8h)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		s1w, _, err := r.SnapshotAt(OffsetBase + Offset1Week)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
-		form := metrics.FormationDistances(base, metrics.DefaultFormationOptions())
-		st8 := metrics.CompareStability(base, s8)
-		st1w := metrics.CompareStability(base, s1w)
+		form := metrics.FormationDistancesSpan(base, metrics.DefaultFormationOptions(), sp)
+		st8 := metrics.CompareStabilitySpan(base, s8, sp)
+		st1w := metrics.CompareStabilitySpan(base, s1w, sp)
 		tp := TrendPoint{
 			Era:               era,
 			CAM8h:             st8.CAM,
@@ -328,6 +383,7 @@ func RunTrend(cfg Config, eras []topology.Era) ([]TrendPoint, error) {
 		}
 		tp.FormationShareMulti = shares(form.AtomsAtDistanceMultiAtom, multiTotal)
 		out = append(out, tp)
+		sp.End()
 	}
 	return out, nil
 }
@@ -352,6 +408,11 @@ type SplitStudy struct {
 // RunSplits processes days+2 daily snapshots starting at the era's
 // anchor and aggregates split events and their observers (Fig 6/7/16).
 func RunSplits(cfg Config, era topology.Era, days int) (*SplitStudy, error) {
+	sp := cfg.Trace.Child("longitudinal.run_splits")
+	sp.SetAttr("era", era.String())
+	sp.SetAttr("days", days)
+	defer sp.End()
+	cfg.Trace = sp
 	r := NewEraRun(cfg, era)
 	snaps := make([]*core.AtomSet, days+2)
 	for d := 0; d < days+2; d++ {
@@ -364,10 +425,11 @@ func RunSplits(cfg Config, era topology.Era, days int) (*SplitStudy, error) {
 	study := &SplitStudy{}
 	var all []metrics.SplitEvent
 	for d := 0; d+2 < len(snaps); d++ {
-		events := metrics.DetectSplits(snaps[d], snaps[d+1], snaps[d+2])
+		events := metrics.DetectSplitsSpan(snaps[d], snaps[d+1], snaps[d+2], sp)
 		study.Days = append(study.Days, metrics.BreakdownDay(d, events))
 		all = append(all, events...)
 	}
 	study.CDF = metrics.BuildObserverCDF(all)
+	sp.SetAttr("events", len(all))
 	return study, nil
 }

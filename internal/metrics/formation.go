@@ -3,6 +3,7 @@ package metrics
 import (
 	"repro/internal/aspath"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // FormationMethod selects the prepending-handling strategy (§3.4.2).
@@ -74,6 +75,23 @@ type FormationResult struct {
 
 // FormationDistances runs the analysis over an atom set.
 func FormationDistances(as *core.AtomSet, opts FormationOptions) *FormationResult {
+	return FormationDistancesSpan(as, opts, nil)
+}
+
+// FormationDistancesSpan is FormationDistances with stage tracing: a
+// non-nil parent receives a child span carrying input/output
+// cardinalities (atoms in, origins and distance-tagged atoms out).
+func FormationDistancesSpan(as *core.AtomSet, opts FormationOptions, parent *obs.Span) *FormationResult {
+	sp := parent.Child("metrics.formation_distances")
+	res := formationDistances(as, opts)
+	sp.SetAttr("atoms", len(as.Atoms))
+	sp.SetAttr("origins", res.TotalOrigins)
+	sp.SetAttr("tagged_atoms", res.TotalAtoms)
+	sp.End()
+	return res
+}
+
+func formationDistances(as *core.AtomSet, opts FormationOptions) *FormationResult {
 	if opts.MaxDistance <= 0 {
 		opts.MaxDistance = 8
 	}

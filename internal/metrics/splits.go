@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/aspath"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SplitEvent is one atom split detected across three consecutive daily
@@ -21,6 +22,21 @@ type SplitEvent struct {
 
 // DetectSplits finds split events across snapshots t0, t1, t2.
 func DetectSplits(s0, s1, s2 *core.AtomSet) []SplitEvent {
+	return DetectSplitsSpan(s0, s1, s2, nil)
+}
+
+// DetectSplitsSpan is DetectSplits with stage tracing: a non-nil
+// parent receives a child span with atom counts in and events out.
+func DetectSplitsSpan(s0, s1, s2 *core.AtomSet, parent *obs.Span) []SplitEvent {
+	sp := parent.Child("metrics.detect_splits")
+	events := detectSplits(s0, s1, s2)
+	sp.SetAttr("atoms_t1", len(s1.Atoms))
+	sp.SetAttr("events", len(events))
+	sp.End()
+	return events
+}
+
+func detectSplits(s0, s1, s2 *core.AtomSet) []SplitEvent {
 	// Atom identity is prefix composition: present at t0 AND t1.
 	sigs0 := make(map[string]struct{}, len(s0.Atoms))
 	for i := range s0.Atoms {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prefixset"
 )
 
@@ -37,6 +38,24 @@ func atomSig(as *core.AtomSet, id int) string {
 
 // CompareStability computes CAM and MPM from snapshot t1 to t2.
 func CompareStability(t1, t2 *core.AtomSet) Stability {
+	return CompareStabilitySpan(t1, t2, nil)
+}
+
+// CompareStabilitySpan is CompareStability with stage tracing: a
+// non-nil parent receives a child span with atom counts and the
+// resulting match ratios.
+func CompareStabilitySpan(t1, t2 *core.AtomSet, parent *obs.Span) Stability {
+	sp := parent.Child("metrics.compare_stability")
+	st := compareStability(t1, t2)
+	sp.SetAttr("atoms_t1", len(t1.Atoms))
+	sp.SetAttr("atoms_t2", len(t2.Atoms))
+	sp.SetAttr("cam", st.CAM)
+	sp.SetAttr("mpm", st.MPM)
+	sp.End()
+	return st
+}
+
+func compareStability(t1, t2 *core.AtomSet) Stability {
 	st := Stability{TotalAtoms: len(t2.Atoms)}
 
 	// CAM: signatures of t1 atoms, membership test for t2 atoms.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bgpstream"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prefixset"
 )
 
@@ -26,7 +27,33 @@ type UpdateRecord struct {
 // CollectRecords drains update sources into per-message prefix sets
 // (announcements and withdrawals together, deduplicated).
 func CollectRecords(sources []bgpstream.Source, filter *bgpstream.Filter) ([]UpdateRecord, []bgpstream.Warning, error) {
+	return CollectRecordsObs(sources, filter, nil, nil)
+}
+
+// CollectRecordsObs is CollectRecords with telemetry: a non-nil reg
+// receives the stream's decode counters plus metrics.update_records
+// and a metrics.update_record_size histogram; a non-nil parent
+// receives a child span with source/record cardinalities.
+func CollectRecordsObs(sources []bgpstream.Source, filter *bgpstream.Filter, reg *obs.Registry, parent *obs.Span) ([]UpdateRecord, []bgpstream.Warning, error) {
+	sp := parent.Child("metrics.collect_records")
+	out, warnings, err := collectRecords(sources, filter, reg)
+	if reg != nil {
+		reg.Counter("metrics.update_records").Add(int64(len(out)))
+		h := reg.Histogram("metrics.update_record_size")
+		for i := range out {
+			h.Observe(int64(len(out[i].Prefixes)))
+		}
+	}
+	sp.SetAttr("sources", len(sources))
+	sp.SetAttr("records", len(out))
+	sp.SetAttr("warnings", len(warnings))
+	sp.End()
+	return out, warnings, err
+}
+
+func collectRecords(sources []bgpstream.Source, filter *bgpstream.Filter, reg *obs.Registry) ([]UpdateRecord, []bgpstream.Warning, error) {
 	s := bgpstream.NewStream(filter, sources...)
+	s.SetMetrics(reg)
 	byMsg := map[int]*UpdateRecord{}
 	var order []int
 	for {
@@ -100,6 +127,22 @@ type UpdateCorrelation struct {
 // CorrelateUpdates computes the likelihood of atoms and ASes being seen
 // in full within single update records (§3.3's formula).
 func CorrelateUpdates(as *core.AtomSet, records []UpdateRecord, maxK int) *UpdateCorrelation {
+	return CorrelateUpdatesSpan(as, records, maxK, nil)
+}
+
+// CorrelateUpdatesSpan is CorrelateUpdates with stage tracing: a
+// non-nil parent receives a child span with atom/record counts.
+func CorrelateUpdatesSpan(as *core.AtomSet, records []UpdateRecord, maxK int, parent *obs.Span) *UpdateCorrelation {
+	sp := parent.Child("metrics.correlate_updates")
+	uc := correlateUpdates(as, records, maxK)
+	sp.SetAttr("atoms", len(as.Atoms))
+	sp.SetAttr("records", len(records))
+	sp.SetAttr("max_k", maxK)
+	sp.End()
+	return uc
+}
+
+func correlateUpdates(as *core.AtomSet, records []UpdateRecord, maxK int) *UpdateCorrelation {
 	uc := &UpdateCorrelation{
 		MaxK:                maxK,
 		Atom:                make([]Ratio, maxK+1),

@@ -1,0 +1,362 @@
+// Package obs is the pipeline's telemetry layer: hierarchical stage
+// spans (wall time, allocation deltas, custom attributes), typed
+// process-wide metrics (counters, gauges, histograms), and run reports
+// that serialize the whole picture to JSON or a human-readable tree.
+//
+// Everything is nil-safe: a nil *Span, *Registry, *Counter, *Gauge or
+// *Histogram accepts every call as a no-op, so instrumented code paths
+// carry no conditional plumbing and near-zero cost when telemetry is
+// disabled (the common case). Enable it by constructing a root span
+// with Root and a registry with NewRegistry and passing them down.
+//
+// Metric instruments are safe for concurrent use; counters and gauges
+// are single atomics on the hot path. Span trees may be built from
+// multiple goroutines (child creation and attribute sets are locked),
+// but a single span's Start/End pair is expected to run on one
+// goroutine. Allocation deltas come from runtime.ReadMemStats and are
+// process-global: they are attributable to a span only while nothing
+// else allocates concurrently, which holds for this repo's
+// single-threaded pipeline stages.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (last write wins).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on nil.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds
+// zeros and bucket i holds [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates int64 observations into power-of-two buckets,
+// tracking count, sum, min and max. Negative observations clamp to 0.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// newHistogram returns a histogram with min primed so the first
+// observation always wins the CAS race.
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(maxInt64)
+	return h
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistBucket is one non-empty histogram bucket: Count observations at
+// most Le (the bucket's inclusive upper bound).
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram copy.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Min:   h.min.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(0)
+		if i > 0 {
+			if i >= 63 {
+				le = maxInt64
+			} else {
+				le = int64(1)<<uint(i) - 1
+			}
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// Registry holds the process's named metric instruments. Instruments
+// are created on first use and live until Reset. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry no-ops every
+// lookup, returning nil instruments (which in turn no-op).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Key renders a canonical metric key: name alone, or name{k=v,...} with
+// labels given as alternating key, value pairs. Label order is
+// preserved as given (callers should use a fixed order per call site).
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 2 + len(labels)*8)
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the counter for the key built
+// from name and labels. Nil registry returns nil without building the
+// key, keeping the disabled path allocation-free.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[k]; c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for the key.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	g := r.gauges[k]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[k]; g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for the key.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key(name, labels...)
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[k]; h == nil {
+		h = newHistogram()
+		r.hists[k] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is a point-in-time copy of every instrument.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument's current value. Nil registry
+// returns nil.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &MetricsSnapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			s.Histograms[k] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Reset drops every instrument. Existing instrument pointers held by
+// callers keep working but are no longer reachable from the registry.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+}
+
+// sortedKeys returns the map's keys in order (used by text rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// formatCount renders n with thousands separators for the text report.
+func formatCount(n int64) string {
+	s := fmt.Sprint(n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	for i, d := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(d)
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every instrument and span call must no-op on nil receivers.
+	var reg *Registry
+	reg.Counter("c", "k", "v").Inc()
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h").Observe(9)
+	if reg.Snapshot() != nil {
+		t.Error("nil registry snapshot != nil")
+	}
+	reg.Reset()
+
+	var sp *Span
+	child := sp.Child("x")
+	if child != nil {
+		t.Error("nil span Child != nil")
+	}
+	sp.SetAttr("k", 1)
+	sp.End()
+	if sp.Duration() != 0 || sp.Name() != "" || sp.Report() != nil {
+		t.Error("nil span accessors not zero")
+	}
+
+	var c *Counter
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter value")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if got := Key("a.b"); got != "a.b" {
+		t.Errorf("Key plain = %q", got)
+	}
+	if got := Key("a.b", "x", "1", "y", "2"); got != "a.b{x=1,y=2}" {
+		t.Errorf("Key labeled = %q", got)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reads", "src", "rrc00")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	// Same key returns the same instrument.
+	if reg.Counter("reads", "src", "rrc00") != c {
+		t.Error("counter identity lost")
+	}
+	reg.Gauge("depth").Set(7)
+	reg.Gauge("depth").Set(3)
+
+	snap := reg.Snapshot()
+	if snap.Counters["reads{src=rrc00}"] != 5 {
+		t.Errorf("snapshot counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["depth"] != 3 {
+		t.Errorf("snapshot gauges = %+v", snap.Gauges)
+	}
+
+	reg.Reset()
+	if s := reg.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Error("reset did not clear instruments")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sizes")
+	for _, v := range []int64{0, 1, 2, 3, 100, -5} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot().Histograms["sizes"]
+	if s.Count != 6 || s.Sum != 106 || s.Min != 0 || s.Max != 100 {
+		t.Errorf("histogram snapshot = %+v", s)
+	}
+	if s.Mean() != 106.0/6 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Buckets: 0 and -5 land in le=0; 1 in le=1; 2,3 in le=3; 100 in le=127.
+	got := map[int64]int64{}
+	for _, b := range s.Buckets {
+		got[b.Le] = b.Count
+	}
+	want := map[int64]int64{0: 2, 1: 1, 3: 2, 127: 1}
+	for le, n := range want {
+		if got[le] != n {
+			t.Errorf("bucket le=%d: got %d want %d (all: %v)", le, got[le], n, got)
+		}
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %d", s.Min)
+	}
+	// Empty histogram reports zero min.
+	if e := reg.Histogram("empty"); e == nil {
+		t.Fatal("nil instrument")
+	}
+	if s := reg.Snapshot().Histograms["empty"]; s.Min != 0 || s.Count != 0 {
+		t.Errorf("empty histogram = %+v", s)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Exercised under -race by make verify: concurrent increments on
+	// shared and per-goroutine keys must be safe and exact.
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := []string{"a", "b", "c", "d"}[w%4]
+			for i := 0; i < iters; i++ {
+				reg.Counter("shared").Inc()
+				reg.Counter("per", "w", name).Inc()
+				reg.Gauge("g").Set(int64(i))
+				reg.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if snap.Counters["shared"] != workers*iters {
+		t.Errorf("shared = %d", snap.Counters["shared"])
+	}
+	if snap.Counters["per{w=a}"] != 2*iters {
+		t.Errorf("per{w=a} = %d", snap.Counters["per{w=a}"])
+	}
+	h := snap.Histograms["h"]
+	if h.Count != workers*iters || h.Min != 0 || h.Max != iters-1 {
+		t.Errorf("histogram = %+v", h)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := Root("run")
+	load := root.Child("load")
+	load.SetAttr("files", 3)
+	// Allocate something measurable inside the span.
+	buf := make([]byte, 1<<20)
+	_ = buf[len(buf)-1]
+	load.End()
+	san := root.Child("sanitize")
+	ingest := san.Child("ingest")
+	ingest.End()
+	san.SetAttr("feeds", 12)
+	san.SetAttr("feeds", 13) // overwrite
+	san.End()
+	root.End()
+	root.End() // idempotent
+
+	if root.Duration() <= 0 {
+		t.Error("root duration not positive")
+	}
+	r := root.Report()
+	if r.Name != "run" || len(r.Children) != 2 {
+		t.Fatalf("report shape: %+v", r)
+	}
+	if r.Children[0].Name != "load" || r.Children[1].Name != "sanitize" {
+		t.Error("children out of order")
+	}
+	if len(r.Children[1].Children) != 1 || r.Children[1].Children[0].Name != "ingest" {
+		t.Error("grandchild missing")
+	}
+	if got := r.Children[1].Attrs; len(got) != 1 || got[0].Value != 13 {
+		t.Errorf("attr overwrite failed: %+v", got)
+	}
+	if r.Children[0].AllocBytes < 1<<20 {
+		t.Errorf("load alloc delta = %d, want >= 1MiB", r.Children[0].AllocBytes)
+	}
+}
+
+func TestSpanUnendedReport(t *testing.T) {
+	root := Root("run")
+	time.Sleep(time.Millisecond)
+	r := root.Report() // never ended
+	if r.DurationMS <= 0 {
+		t.Error("open span should report elapsed time")
+	}
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bgpstream.records").Add(42)
+	root := Root("atomize")
+	c := root.Child("load")
+	c.SetAttr("files", 2)
+	c.End()
+	root.End()
+
+	rep := BuildReport("atomize", []string{"-family", "4"}, root, reg)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if back.Tool != "atomize" || back.Span == nil || back.Span.Name != "atomize" {
+		t.Errorf("decoded report: %+v", back)
+	}
+	if back.Metrics == nil || back.Metrics.Counters["bgpstream.records"] != 42 {
+		t.Errorf("metrics lost: %+v", back.Metrics)
+	}
+	if len(back.Span.Children) != 1 || back.Span.Children[0].Name != "load" {
+		t.Errorf("span tree lost: %+v", back.Span)
+	}
+}
+
+func TestRunReportText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sanitize.dropped", "filter", "length").Add(7)
+	reg.Gauge("vps").Set(13)
+	reg.Histogram("msg").Observe(4)
+	root := Root("atomize")
+	ch := root.Child("atoms")
+	ch.SetAttr("prefixes", 100)
+	ch.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := BuildReport("atomize", nil, root, reg).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"run report: atomize",
+		"└─ atoms",
+		"prefixes=100",
+		"sanitize.dropped{filter=length}",
+		"-- counters --",
+		"-- gauges --",
+		"-- histograms --",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{0: "0", 999: "999", 1000: "1,000", 1234567: "1,234,567", -4200: "-4,200"}
+	for n, want := range cases {
+		if got := formatCount(n); got != want {
+			t.Errorf("formatCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RunReport bundles one run's span tree and metric snapshot into a
+// single machine-readable artifact. WriteJSON emits it for tooling
+// (diffing two runs, feeding dashboards, BENCH trajectories); WriteText
+// renders the same data as a human-readable tree.
+type RunReport struct {
+	// Tool names the producing command (atomize, atomrepro, ...).
+	Tool string `json:"tool"`
+	// Args echoes the command line for provenance.
+	Args []string `json:"args,omitempty"`
+	// Start / DurationMS cover the root span.
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	// Span is the full stage tree.
+	Span *SpanReport `json:"span,omitempty"`
+	// Metrics is the registry snapshot at report time.
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// BuildReport assembles a report from a root span and registry (either
+// may be nil).
+func BuildReport(tool string, args []string, root *Span, reg *Registry) *RunReport {
+	r := &RunReport{Tool: tool, Args: args, Metrics: reg.Snapshot()}
+	if sr := root.Report(); sr != nil {
+		r.Span = sr
+		r.Start = sr.Start
+		r.DurationMS = sr.DurationMS
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the span tree and metrics as a human-readable
+// report.
+func (r *RunReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== run report: %s ==\n", r.Tool); err != nil {
+		return err
+	}
+	if r.Span != nil {
+		writeSpanText(w, r.Span, "", true, true)
+	}
+	if r.Metrics != nil {
+		writeMetricsText(w, r.Metrics)
+	}
+	return nil
+}
+
+// fmtDuration renders a millisecond duration compactly.
+func fmtDuration(ms float64) string {
+	switch {
+	case ms >= 10000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	case ms >= 1:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.0fµs", ms*1000)
+	}
+}
+
+// fmtBytes renders a byte count compactly.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func writeSpanText(w io.Writer, s *SpanReport, prefix string, last, root bool) {
+	connector := "├─ "
+	childPrefix := prefix + "│  "
+	if last {
+		connector = "└─ "
+		childPrefix = prefix + "   "
+	}
+	if root {
+		connector = ""
+		childPrefix = ""
+	}
+	line := fmt.Sprintf("%s%s%-*s %8s", prefix, connector, 30-len(prefix), s.Name, fmtDuration(s.DurationMS))
+	if s.AllocBytes > 0 {
+		line += fmt.Sprintf("  %9s", fmtBytes(s.AllocBytes))
+	}
+	if len(s.Attrs) > 0 {
+		var parts []string
+		for _, a := range s.Attrs {
+			parts = append(parts, fmt.Sprintf("%s=%v", a.Key, a.Value))
+		}
+		line += "  " + strings.Join(parts, " ")
+	}
+	fmt.Fprintln(w, line)
+	for i, c := range s.Children {
+		writeSpanText(w, c, childPrefix, i == len(s.Children)-1, false)
+	}
+}
+
+func writeMetricsText(w io.Writer, m *MetricsSnapshot) {
+	if len(m.Counters) > 0 {
+		fmt.Fprintln(w, "-- counters --")
+		for _, k := range sortedKeys(m.Counters) {
+			fmt.Fprintf(w, "  %-56s %14s\n", k, formatCount(m.Counters[k]))
+		}
+	}
+	if len(m.Gauges) > 0 {
+		fmt.Fprintln(w, "-- gauges --")
+		for _, k := range sortedKeys(m.Gauges) {
+			fmt.Fprintf(w, "  %-56s %14s\n", k, formatCount(m.Gauges[k]))
+		}
+	}
+	if len(m.Histograms) > 0 {
+		fmt.Fprintln(w, "-- histograms --")
+		for _, k := range sortedKeys(m.Histograms) {
+			h := m.Histograms[k]
+			fmt.Fprintf(w, "  %-44s n=%d sum=%d min=%d mean=%.1f max=%d\n",
+				k, h.Count, h.Sum, h.Min, h.Mean(), h.Max)
+		}
+	}
+}

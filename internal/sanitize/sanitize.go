@@ -15,6 +15,7 @@ import (
 	"repro/internal/aspath"
 	"repro/internal/bgpstream"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prefixset"
 )
 
@@ -46,6 +47,14 @@ type Options struct {
 	// 4 = IPv4 only, 6 = IPv6 only. Atoms are computed per family, and
 	// full-feed inference runs within the family's own table sizes.
 	Family int
+
+	// Span, when non-nil, receives child spans for each pipeline stage
+	// (ingest, intern, abnormal peers, full-feed inference, admission,
+	// assembly). Nil disables stage tracing at no cost.
+	Span *obs.Span
+	// Metrics, when non-nil, receives per-filter admit/reject counters,
+	// per-VP drop causes, and the stream's decode counters.
+	Metrics *obs.Registry
 }
 
 // Defaults returns the paper's parameters.
@@ -140,6 +149,8 @@ type feedKey struct {
 // sanitized snapshot. The returned Report explains every removal.
 func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts Options) (*core.Snapshot, *Report, error) {
 	// Pass 1: ingest RIB elements per feed.
+	sp := opts.Span.Child("sanitize.ingest")
+	elems := 0
 	feeds := map[feedKey]*Feed{}
 	filter := &bgpstream.Filter{
 		Types:  map[bgpstream.ElemType]bool{bgpstream.ElemRIB: true},
@@ -147,6 +158,7 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 		V6Only: opts.Family == 6,
 	}
 	stream := bgpstream.NewStream(filter, sources...)
+	stream.SetMetrics(opts.Metrics)
 	for {
 		e, err := stream.Next()
 		if err == io.EOF {
@@ -155,6 +167,7 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 		if err != nil {
 			return nil, nil, err
 		}
+		elems++
 		k := feedKey{collector: e.Collector, asn: e.PeerASN}
 		fd := feeds[k]
 		if fd == nil {
@@ -186,13 +199,22 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 	for _, fd := range feeds {
 		list = append(list, fd)
 	}
+	sp.SetAttr("sources", len(sources))
+	sp.SetAttr("rib_elems", elems)
+	sp.SetAttr("feeds", len(list))
+	sp.End()
 	return CleanFeeds(list, updateWarnings, opts)
 }
 
 // CleanFeeds runs the pipeline over already-ingested feeds.
 func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) (*core.Snapshot, *Report, error) {
+	sp := opts.Span.Child("sanitize.clean_feeds")
+	defer sp.End()
+	reg := opts.Metrics
 	rep := &Report{RemovedPeerASes: map[uint32]RemovalReason{}}
 	table := aspath.NewTable()
+
+	stage := sp.Child("intern")
 
 	type feedData struct {
 		stat   FeedStat
@@ -230,6 +252,22 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 		}
 		feeds = append(feeds, fd)
 	}
+	if reg != nil {
+		reg.Counter("sanitize.feeds").Add(int64(len(feeds)))
+		var loops, dups, assets int64
+		for _, fd := range feeds {
+			loops += int64(fd.stat.LoopDropped)
+			dups += int64(fd.stat.Duplicates)
+			assets += int64(fd.stat.ASSetDropped)
+		}
+		reg.Counter("sanitize.routes_dropped", "cause", "loop").Add(loops)
+		reg.Counter("sanitize.routes_dropped", "cause", "duplicate").Add(dups)
+		reg.Counter("sanitize.routes_dropped", "cause", "as-set").Add(assets)
+	}
+	stage.SetAttr("feeds", len(feeds))
+	stage.SetAttr("paths_interned", table.Len())
+	stage.End()
+	stage = sp.Child("abnormal_peers")
 
 	// Abnormal peers from update-stream warnings.
 	warnByPeer := map[uint32]int{}
@@ -259,6 +297,14 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 			rep.RemovedPeerASes[fd.stat.VP.ASN] = RemovedDuplicates
 		}
 	}
+	if reg != nil {
+		for _, reason := range rep.RemovedPeerASes {
+			reg.Counter("sanitize.removed_peer_ases", "reason", string(reason)).Inc()
+		}
+	}
+	stage.SetAttr("removed_peer_ases", len(rep.RemovedPeerASes))
+	stage.End()
+	stage = sp.Child("full_feed")
 
 	// Full-feed inference over surviving feeds.
 	max := 0
@@ -276,6 +322,7 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	var vpFeeds []*feedData
 	for _, fd := range feeds {
 		if _, gone := rep.RemovedPeerASes[fd.stat.VP.ASN]; gone {
+			reg.Counter("sanitize.vp_dropped", "vp", fd.stat.VP.String(), "cause", "abnormal-peer").Inc()
 			continue
 		}
 		if len(fd.routes) > rep.FullFeedThreshold ||
@@ -285,7 +332,12 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 				rep.FullFeeds++
 			}
 			vpFeeds = append(vpFeeds, fd)
+		} else {
+			reg.Counter("sanitize.vp_dropped", "vp", fd.stat.VP.String(), "cause", "below-threshold").Inc()
 		}
+	}
+	if reg != nil {
+		reg.Counter("sanitize.vps_admitted").Add(int64(len(vpFeeds)))
 	}
 	// Deterministic VP order.
 	sort.Slice(vpFeeds, func(i, j int) bool {
@@ -305,6 +357,13 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 		}
 		return a.ASN < b.ASN
 	})
+
+	stage.SetAttr("max_prefixes", rep.MaxPrefixCount)
+	stage.SetAttr("threshold", rep.FullFeedThreshold)
+	stage.SetAttr("full_feeds", rep.FullFeeds)
+	stage.SetAttr("vps", len(vpFeeds))
+	stage.End()
+	stage = sp.Child("admission")
 
 	// Prefix admission: length + visibility thresholds over VP feeds.
 	type vis struct {
@@ -345,6 +404,17 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	}
 	prefixset.SortPrefixes(admitted)
 	rep.PrefixesAdmitted = len(admitted)
+	if reg != nil {
+		reg.Counter("sanitize.prefixes_seen").Add(int64(rep.PrefixesSeen))
+		reg.Counter("sanitize.prefixes_admitted").Add(int64(rep.PrefixesAdmitted))
+		reg.Counter("sanitize.prefixes_dropped", "filter", "length").Add(int64(rep.DroppedByLength))
+		reg.Counter("sanitize.prefixes_dropped", "filter", "min-collectors").Add(int64(rep.DroppedByCollector))
+		reg.Counter("sanitize.prefixes_dropped", "filter", "min-peer-ases").Add(int64(rep.DroppedByPeerASes))
+	}
+	stage.SetAttr("seen", rep.PrefixesSeen)
+	stage.SetAttr("admitted", rep.PrefixesAdmitted)
+	stage.End()
+	stage = sp.Child("assemble")
 
 	// Assemble the snapshot.
 	vps := make([]core.VP, len(vpFeeds))
@@ -368,6 +438,13 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 			rep.MOASPrefixes++
 		}
 	}
+	if reg != nil {
+		reg.Counter("sanitize.moas_prefixes").Add(int64(rep.MOASPrefixes))
+	}
+	stage.End()
+	sp.SetAttr("feeds", len(feeds))
+	sp.SetAttr("vps", len(vpFeeds))
+	sp.SetAttr("prefixes", rep.PrefixesAdmitted)
 	return snap, rep, nil
 }
 

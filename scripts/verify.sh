@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh — the repo's full pre-merge check: vet, build, tests, and a
+# race-detector smoke of the concurrency-sensitive packages (the obs
+# instruments are lock-free atomics; bgpstream caches counters).
+# Run via `make verify` or directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (smoke: internal/obs internal/bgpstream)"
+go test -race -count=1 ./internal/obs/ ./internal/bgpstream/
+
+echo "verify: OK"
