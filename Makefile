@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify
+.PHONY: build test bench bench-all verify
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
+# Key benchmarks, distilled into BENCH_pr2.json (see scripts/bench.sh).
 bench:
-	$(GO) test -bench . -benchmem
+	sh scripts/bench.sh
+
+# The full benchmark sweep (one per table/figure; slow).
+bench-all:
+	$(GO) test -bench . -benchmem ./...
 
 # Full pre-merge check: vet + build + tests + race smoke.
 verify:

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -105,6 +106,35 @@ func BenchmarkSnapshotBuildFastPath(b *testing.B) {
 		if _, _, err := r.SnapshotAt(longitudinal.OffsetBase); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunTrendParallel measures the parallel longitudinal sweep
+// end to end — six independent eras fanned out across the worker pool.
+// workers=1 is the sequential baseline; the speedup at higher counts is
+// the PR's headline number (bounded by the machine's core count, which
+// scripts/bench.sh records alongside the timings).
+func BenchmarkRunTrendParallel(b *testing.B) {
+	eras := []topology.Era{
+		topology.EraOf(2004, 1), topology.EraOf(2008, 1),
+		topology.EraOf(2012, 1), topology.EraOf(2016, 1),
+		topology.EraOf(2020, 1), topology.EraOf(2024, 1),
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				points, err := longitudinal.RunTrend(cfg, eras)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(points) != len(eras) {
+					b.Fatalf("points = %d", len(points))
+				}
+			}
+		})
 	}
 }
 

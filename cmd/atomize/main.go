@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	atomize [-family 4|6] [-afek2002] [-updates glob] [-trace out.json] [-v] data/*.rib.mrt
+//	atomize [-family 4|6] [-afek2002] [-updates glob] [-workers n] [-trace out.json] [-v] data/*.rib.mrt
 //
 // The collector name for each archive is derived from the file name
-// (everything before the first dot). Update archives, when given, feed
+// (everything before the first dot). -workers bounds the worker pool
+// for sanitization and atom grouping (default one per CPU, 1 =
+// sequential); output is identical at any value. Update archives, when given, feed
 // the abnormal-peer detection (§A8.3) before atom computation; archives
 // that match the glob but decode zero elements are reported, since a
 // bad glob would otherwise silently disable the detection.
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/bgpstream"
 	"repro/internal/cli"
@@ -40,6 +43,7 @@ func main() {
 		updates   = flag.String("updates", "", "glob of update archives for abnormal-peer detection")
 		formation = flag.Bool("formation", false, "also print the formation-distance distribution")
 	)
+	workers := cli.NewWorkers()
 	o := cli.NewObs(tool)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -92,13 +96,14 @@ func main() {
 		opts = sanitize.Afek2002()
 	}
 	opts.Family = *family
+	opts.Workers = *workers
 	opts.Span = o.Root
 	opts.Metrics = o.Registry
 	snap, rep, err := sanitize.Clean(sources, warnings, opts)
 	if err != nil {
 		cli.Fatal(tool, err)
 	}
-	atoms := core.ComputeAtomsSpan(snap, o.Root)
+	atoms := core.ComputeAtomsSpanWorkers(snap, o.Root, *workers)
 
 	ssp := o.Root.Child("stats")
 	st := atoms.Stats()
@@ -121,8 +126,14 @@ func main() {
 
 	if len(rep.RemovedPeerASes) > 0 {
 		fmt.Println("\nRemoved abnormal peer ASes:")
-		for asn, reason := range rep.RemovedPeerASes {
-			fmt.Printf("  AS%-8d %s\n", asn, reason)
+		// Sorted: map iteration order would vary run to run.
+		asns := make([]uint32, 0, len(rep.RemovedPeerASes))
+		for asn := range rep.RemovedPeerASes {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, asn := range asns {
+			fmt.Printf("  AS%-8d %s\n", asn, rep.RemovedPeerASes[asn])
 		}
 	}
 	if *formation {

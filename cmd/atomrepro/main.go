@@ -6,8 +6,11 @@
 //	atomrepro -list
 //	atomrepro -run table1,table3 -scale 0.02
 //	atomrepro -run all -scale 0.01 -seed 7
+//	atomrepro -run figure4 -workers 8
 //
-// Every run is deterministic in (-seed, -scale). Larger scales approach
+// Every run is deterministic in (-seed, -scale) alone: -workers (the
+// pipeline's worker-pool bound, default one per CPU, 1 = sequential)
+// changes wall-clock only, never a number. Larger scales approach
 // the paper's absolute numbers at the cost of runtime; the default is
 // laptop-friendly and preserves every shape comparison.
 package main
@@ -34,6 +37,7 @@ func main() {
 		seed  = flag.Uint64("seed", 7, "simulation seed")
 		slow  = flag.Bool("wire", false, "use the full MRT wire round-trip instead of the fast path")
 	)
+	workers := cli.NewWorkers()
 	o := cli.NewObs(tool)
 	flag.Parse()
 
@@ -49,6 +53,7 @@ func main() {
 	cfg := longitudinal.DefaultConfig(*seed)
 	cfg.Scale = *scale
 	cfg.FastPath = !*slow
+	cfg.Workers = *workers
 	cfg.Metrics = o.Registry
 
 	var selected []experiments.Experiment

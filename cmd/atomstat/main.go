@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	atomstat [-family 4|6] [-grid] [-trace out.json] [-v] data/*.rib.mrt
+//	atomstat [-family 4|6] [-grid] [-workers n] [-trace out.json] [-v] data/*.rib.mrt
+//
+// -workers bounds the sanitization worker pool (default one per CPU,
+// 1 = sequential); the report is identical at any value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/cli"
 	"repro/internal/sanitize"
@@ -25,6 +29,7 @@ func main() {
 		family = flag.Int("family", 4, "address family: 4 or 6")
 		grid   = flag.Bool("grid", false, "print the Table 7 threshold sensitivity grid")
 	)
+	workers := cli.NewWorkers()
 	o := cli.NewObs(tool)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -40,6 +45,7 @@ func main() {
 
 	opts := sanitize.Defaults()
 	opts.Family = *family
+	opts.Workers = *workers
 	opts.Span = o.Root
 	opts.Metrics = o.Registry
 	_, rep, err := sanitize.Clean(sources, nil, opts)
@@ -60,8 +66,14 @@ func main() {
 	fmt.Printf("Prefix funnel: %d seen -> %d admitted (length %d, <2 collectors %d, <4 peer ASes %d)\n",
 		rep.PrefixesSeen, rep.PrefixesAdmitted, rep.DroppedByLength, rep.DroppedByCollector, rep.DroppedByPeerASes)
 	fmt.Printf("MOAS prefixes among admitted: %d\n", rep.MOASPrefixes)
-	for asn, reason := range rep.RemovedPeerASes {
-		fmt.Printf("removed peer AS%d: %s\n", asn, reason)
+	// Sorted: map iteration order would vary run to run.
+	asns := make([]uint32, 0, len(rep.RemovedPeerASes))
+	for asn := range rep.RemovedPeerASes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		fmt.Printf("removed peer AS%d: %s\n", asn, rep.RemovedPeerASes[asn])
 	}
 
 	if *grid {

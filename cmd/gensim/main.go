@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	gensim -out ./data -year 2024 -quarter 4 -scale 0.01 -seed 7 [-trace out.json] [-v]
+//	gensim -out ./data -year 2024 -quarter 4 -scale 0.01 -seed 7 [-workers n] [-trace out.json] [-v]
 //
 // Writes one <collector>.rib.mrt and one <collector>.updates.mrt file
-// per simulated collector.
+// per simulated collector. Output depends only on (-seed, -scale,
+// -year, -quarter); -workers trades wall-clock for cores.
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		hours     = flag.Float64("update-hours", 4, "hours of updates after the snapshot")
 		artifacts = flag.Bool("artifacts", true, "inject the paper's data defects (ADD-PATH, AS65000, duplicates)")
 	)
+	workers := cli.NewWorkers()
 	o := cli.NewObs(tool)
 	flag.Parse()
 	o.Start()
@@ -44,6 +46,7 @@ func main() {
 	cfg := longitudinal.DefaultConfig(*seed)
 	cfg.Scale = *scale
 	cfg.Artifacts = *artifacts
+	cfg.Workers = *workers
 	cfg.Trace = o.Root
 	cfg.Metrics = o.Registry
 	r := longitudinal.NewEraRun(cfg, era)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -523,6 +524,54 @@ func TestTableConcurrent(t *testing.T) {
 			t.Fatalf("round trip: id %d = %v, want %v", id, got, k)
 		}
 	}
+}
+
+// TestTableConcurrentReaders interleaves interning with lock-free
+// Seq/Len/Origin readers: every ID below a snapshot of Len must resolve
+// to a non-nil sequence whose re-intern returns the same ID (dense,
+// stable, published-before-visible).
+func TestTableConcurrentReaders(t *testing.T) {
+	tbl := NewTable()
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 2000; i++ {
+				tbl.Intern(randomSeq(r))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := tbl.Len()
+				for id := 1; id < n; id++ {
+					s := tbl.Seq(ID(id))
+					if s == nil {
+						t.Errorf("Seq(%d) nil below Len %d", id, n)
+						return
+					}
+					if got := tbl.Intern(s); got != ID(id) {
+						t.Errorf("re-intern of id %d returned %d", id, got)
+						return
+					}
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
 }
 
 // Seq8 is a fixed-size comparable stand-in for short sequences in tests.

@@ -3,6 +3,7 @@ package aspath
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 )
 
 // ID is an interned path identifier. ID 0 is reserved for the empty path
@@ -12,24 +13,43 @@ type ID uint32
 // Empty is the ID of the empty path.
 const Empty ID = 0
 
+// numShards stripes the intern map so concurrent snapshot-build workers
+// don't serialize on one lock. Must be a power of two.
+const numShards = 64
+
+type tableShard struct {
+	mu  sync.RWMutex
+	ids map[string]ID
+}
+
 // Table interns AS-path sequences, mapping each distinct sequence to a
 // dense ID. It is the backbone of the snapshot model: per-prefix per-VP
 // routes are stored as IDs, and atom grouping hashes ID vectors instead
 // of path contents.
 //
-// A Table is safe for concurrent use.
+// A Table is safe for concurrent use and built for it: the sequence→ID
+// map is striped across numShards locks (an Intern of an already-known
+// path only takes one shard's read lock), and the ID→sequence side is
+// an append-only slice published through an atomic pointer, so Seq,
+// Origin and Len never lock at all. ID values depend on interleaving
+// when multiple goroutines intern new paths — callers must treat IDs as
+// opaque within one table (the pipeline's outputs never depend on raw
+// ID values, only on ID equality, which interning guarantees).
 type Table struct {
-	mu   sync.RWMutex
-	ids  map[string]ID
-	seqs []Seq // index = ID; seqs[0] is nil (the empty path)
+	shards [numShards]tableShard
+	seqMu  sync.Mutex            // serializes appends to the seqs slice
+	seqs   atomic.Pointer[[]Seq] // index = ID; (*seqs)[0] is nil (the empty path)
 }
 
 // NewTable returns an empty table containing only the empty path.
 func NewTable() *Table {
-	return &Table{
-		ids:  make(map[string]ID, 1024),
-		seqs: make([]Seq, 1, 1024),
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].ids = make(map[string]ID, 32)
 	}
+	seqs := make([]Seq, 1, 1024)
+	t.seqs.Store(&seqs)
+	return t
 }
 
 // key encodes a sequence into a compact string key (big-endian uint32s).
@@ -41,6 +61,16 @@ func key(s Seq) string {
 	return string(buf)
 }
 
+// shardOf maps a key to its stripe (FNV-1a over the key bytes).
+func shardOf(k string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return h & (numShards - 1)
+}
+
 // Intern returns the ID for seq, allocating one if it is new. The empty
 // sequence always maps to Empty. The table stores its own copy; callers
 // may reuse seq's backing array.
@@ -49,20 +79,29 @@ func (t *Table) Intern(seq Seq) ID {
 		return Empty
 	}
 	k := key(seq)
-	t.mu.RLock()
-	id, ok := t.ids[k]
-	t.mu.RUnlock()
+	sh := &t.shards[shardOf(k)]
+	sh.mu.RLock()
+	id, ok := sh.ids[k]
+	sh.mu.RUnlock()
 	if ok {
 		return id
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if id, ok = t.ids[k]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok = sh.ids[k]; ok {
 		return id
 	}
-	id = ID(len(t.seqs))
-	t.seqs = append(t.seqs, seq.Clone())
-	t.ids[k] = id
+	// Allocate the next dense ID. Appending in place is safe for the
+	// lock-free readers: a reader holding the old slice header never
+	// indexes past its own length, and the new header is published
+	// atomically only after the element is written.
+	t.seqMu.Lock()
+	cur := *t.seqs.Load()
+	id = ID(len(cur))
+	next := append(cur, seq.Clone())
+	t.seqs.Store(&next)
+	t.seqMu.Unlock()
+	sh.ids[k] = id
 	return id
 }
 
@@ -72,28 +111,28 @@ func (t *Table) Lookup(seq Seq) (ID, bool) {
 	if len(seq) == 0 {
 		return Empty, true
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	id, ok := t.ids[key(seq)]
+	k := key(seq)
+	sh := &t.shards[shardOf(k)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	id, ok := sh.ids[k]
 	return id, ok
 }
 
 // Seq returns the sequence for id. The returned slice is owned by the
-// table and must not be mutated. Seq(Empty) returns nil.
+// table and must not be mutated. Seq(Empty) returns nil. Lock-free.
 func (t *Table) Seq(id ID) Seq {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if int(id) >= len(t.seqs) {
+	seqs := *t.seqs.Load()
+	if int(id) >= len(seqs) {
 		return nil
 	}
-	return t.seqs[id]
+	return seqs[id]
 }
 
 // Len returns the number of interned paths, including the empty path.
+// Lock-free.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.seqs)
+	return len(*t.seqs.Load())
 }
 
 // Origin returns the origin AS of the path with the given id, and false

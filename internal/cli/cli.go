@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -54,6 +55,16 @@ func LoadSources(tool string, paths []string) []bgpstream.Source {
 		out = append(out, bgpstream.BytesSource(CollectorName(p), data, bgp.Options{}))
 	}
 	return out
+}
+
+// NewWorkers registers the shared -workers flag on the default flag
+// set: the worker-pool bound for every parallel pipeline stage. The
+// default is one worker per CPU; 1 forces the sequential path. Output
+// is byte-identical at any value, so the flag only trades wall-clock
+// for cores.
+func NewWorkers() *int {
+	return flag.Int("workers", runtime.NumCPU(),
+		"worker pool size for parallel pipeline stages (1 = sequential)")
 }
 
 // Obs bundles a command's observability surface. Typical lifecycle:

@@ -55,10 +55,94 @@ func BenchmarkComputeAtomsBare(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if as := computeAtoms(s); len(as.Atoms) == 0 {
+		if as := computeAtoms(s, 1); len(as.Atoms) == 0 {
 			b.Fatal("no atoms")
 		}
 	}
+}
+
+// BenchmarkComputeAtomsWorkers measures the sharded grouping at several
+// pool sizes on a snapshot large enough to clear shardMinPrefixes.
+func BenchmarkComputeAtomsWorkers(b *testing.B) {
+	s := benchSnapshot(20000, 50)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if as := ComputeAtomsWorkers(s, w); len(as.Atoms) == 0 {
+					b.Fatal("no atoms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVectorOrigin measures the slice-scan majority-origin kernel
+// against BenchmarkVectorOriginMap, the map-based implementation it
+// replaced (kept below for the comparison).
+func BenchmarkVectorOrigin(b *testing.B) {
+	tbl, vec := benchVector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o, _ := vectorOrigin(tbl, vec); o == 0 {
+			b.Fatal("no origin")
+		}
+	}
+}
+
+func BenchmarkVectorOriginMap(b *testing.B) {
+	tbl, vec := benchVector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o, _ := vectorOriginMap(tbl, vec); o == 0 {
+			b.Fatal("no origin")
+		}
+	}
+}
+
+// benchVector builds a 50-VP vector with two distinct origins (the
+// common MOAS-free shape plus one conflicting path).
+func benchVector() (*aspath.Table, []aspath.ID) {
+	tbl := aspath.NewTable()
+	vec := make([]aspath.ID, 50)
+	for v := range vec {
+		if v%13 == 0 {
+			continue // empty path
+		}
+		origin := uint32(65001)
+		if v == 7 {
+			origin = 65002
+		}
+		vec[v] = tbl.Intern(aspath.Seq{uint32(3000 + v), 100, origin})
+	}
+	return tbl, vec
+}
+
+// vectorOriginMap is the pre-optimization implementation, retained only
+// as the benchmark baseline for vectorOrigin.
+func vectorOriginMap(tbl *aspath.Table, vec []aspath.ID) (uint32, bool) {
+	counts := make(map[uint32]int, 2)
+	for _, id := range vec {
+		if id == aspath.Empty {
+			continue
+		}
+		if o, ok := tbl.Origin(id); ok {
+			counts[o]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	var best uint32
+	bestN := -1
+	for o, n := range counts {
+		if n > bestN || (n == bestN && o < best) {
+			best, bestN = o, n
+		}
+	}
+	return best, len(counts) > 1
 }
 
 // BenchmarkComputeAtomsTraced measures the fully enabled path: a live

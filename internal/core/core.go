@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/aspath"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // VP identifies a vantage point: one peer feed at one collector.
@@ -105,28 +106,78 @@ var atomSeed = maphash.MakeSeed()
 
 // ComputeAtoms groups prefixes with identical path vectors. The grouping
 // hashes each row and verifies exactly on collision, so results are
-// independent of hash quality. Runs in O(prefixes × VPs).
-func ComputeAtoms(s *Snapshot) *AtomSet { return ComputeAtomsSpan(s, nil) }
+// independent of hash quality. Runs in O(prefixes × VPs), sequentially;
+// ComputeAtomsWorkers shards the same computation across a worker pool
+// with byte-identical output.
+func ComputeAtoms(s *Snapshot) *AtomSet { return computeAtomsSeq(s) }
+
+// ComputeAtomsWorkers is ComputeAtoms over a bounded worker pool:
+// prefix rows are hashed and pre-grouped in contiguous shards, then
+// merged deterministically in shard order. The result — atom IDs,
+// member lists, ByPrefix, origins — is identical to the sequential
+// computation at any worker count (workers <= 1 runs the sequential
+// path; 0 means one worker per CPU).
+func ComputeAtomsWorkers(s *Snapshot, workers int) *AtomSet {
+	return ComputeAtomsSpanWorkers(s, nil, workers)
+}
 
 // ComputeAtomsSpan is ComputeAtoms with stage tracing: when parent is
 // non-nil a child span records the wall time, allocation delta, and
 // input/output cardinalities (prefixes, VPs, atoms). A nil parent is
 // the zero-cost path ComputeAtoms takes.
 func ComputeAtomsSpan(s *Snapshot, parent *obs.Span) *AtomSet {
+	return ComputeAtomsSpanWorkers(s, parent, 1)
+}
+
+// ComputeAtomsSpanWorkers combines stage tracing with the worker pool.
+func ComputeAtomsSpanWorkers(s *Snapshot, parent *obs.Span, workers int) *AtomSet {
+	workers = parallel.Workers(workers)
 	if parent == nil {
 		// Skip even the attr boxing: disabled tracing costs nothing.
-		return computeAtoms(s)
+		return computeAtoms(s, workers)
 	}
 	sp := parent.Child("core.compute_atoms")
-	as := computeAtoms(s)
+	as := computeAtoms(s, workers)
 	sp.SetAttr("prefixes", len(s.Prefixes))
 	sp.SetAttr("vps", len(s.VPs))
 	sp.SetAttr("atoms", len(as.Atoms))
+	sp.SetAttr("workers", workers)
 	sp.End()
 	return as
 }
 
-func computeAtoms(s *Snapshot) *AtomSet {
+// shardMinPrefixes gates the sharded path: below this row count the
+// merge bookkeeping costs more than the parallelism buys.
+const shardMinPrefixes = 2048
+
+func computeAtoms(s *Snapshot, workers int) *AtomSet {
+	if workers > 1 && len(s.Prefixes) >= shardMinPrefixes {
+		return computeAtomsSharded(s, workers)
+	}
+	return computeAtomsSeq(s)
+}
+
+// rowBytes encodes a route row into buf (reused across rows) as
+// big-endian uint32s, so the whole row hashes in one maphash.Bytes
+// call instead of one 4-byte Write per vantage point.
+func rowBytes(buf []byte, row []aspath.ID) []byte {
+	buf = buf[:0]
+	for _, id := range row {
+		buf = append(buf, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return buf
+}
+
+func rowsEqual(a, b []aspath.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func computeAtomsSeq(s *Snapshot) *AtomSet {
 	type bucket struct {
 		rows []int // representative prefix rows, one per distinct vector
 		atom []int // parallel: atom index
@@ -134,28 +185,11 @@ func computeAtoms(s *Snapshot) *AtomSet {
 	as := &AtomSet{Snap: s, ByPrefix: make([]int, len(s.Prefixes))}
 	buckets := make(map[uint64]*bucket, len(s.Prefixes))
 
-	var h maphash.Hash
-	rowHash := func(row []aspath.ID) uint64 {
-		h.SetSeed(atomSeed)
-		for _, id := range row {
-			var b [4]byte
-			b[0], b[1], b[2], b[3] = byte(id>>24), byte(id>>16), byte(id>>8), byte(id)
-			h.Write(b[:])
-		}
-		return h.Sum64()
-	}
-	rowsEqual := func(a, b []aspath.ID) bool {
-		for i := range a {
-			if a[i] != b[i] {
-				return false
-			}
-		}
-		return true
-	}
-
+	buf := make([]byte, 0, 4*len(s.VPs))
 	for p := range s.Prefixes {
 		row := s.Routes[p]
-		hv := rowHash(row)
+		buf = rowBytes(buf, row)
+		hv := maphash.Bytes(atomSeed, buf)
 		bk := buckets[hv]
 		if bk == nil {
 			bk = &bucket{}
@@ -184,29 +218,141 @@ func computeAtoms(s *Snapshot) *AtomSet {
 	return as
 }
 
+// shardEntry is one distinct vector found within a shard: its first
+// (representative) prefix row and all member prefixes, both ascending
+// because the shard scans a contiguous range in order.
+type shardEntry struct {
+	hash    uint64
+	rep     int32
+	members []int32
+}
+
+// computeAtomsSharded splits the prefix rows into contiguous shards,
+// groups each shard independently (per-shard hashing into per-shard
+// buckets), and merges the shards in order. The merge order makes the
+// result identical to the sequential pass for any shard count: a
+// vector's atom ID is its global first-occurrence rank, and contiguous
+// in-order shards enumerate first occurrences in exactly that order.
+func computeAtomsSharded(s *Snapshot, workers int) *AtomSet {
+	n := len(s.Prefixes)
+	parts := workers
+	if parts > n {
+		parts = n
+	}
+	shards := make([][]shardEntry, parts)
+	parallel.ForEach(workers, parts, func(si int) error {
+		lo, hi := parallel.ChunkBounds(n, parts, si)
+		entries := make([]shardEntry, 0, (hi-lo)/2)
+		local := make(map[uint64][]int32, (hi-lo)/2)
+		buf := make([]byte, 0, 4*len(s.VPs))
+		for p := lo; p < hi; p++ {
+			row := s.Routes[p]
+			buf = rowBytes(buf, row)
+			hv := maphash.Bytes(atomSeed, buf)
+			found := int32(-1)
+			for _, ei := range local[hv] {
+				if rowsEqual(s.Routes[entries[ei].rep], row) {
+					found = ei
+					break
+				}
+			}
+			if found < 0 {
+				found = int32(len(entries))
+				entries = append(entries, shardEntry{hash: hv, rep: int32(p)})
+				local[hv] = append(local[hv], found)
+			}
+			entries[found].members = append(entries[found].members, int32(p))
+		}
+		shards[si] = entries
+		return nil
+	})
+
+	// Deterministic merge: shards in index order, entries in first-seen
+	// order within each shard.
+	as := &AtomSet{Snap: s, ByPrefix: make([]int, n)}
+	type bucket struct {
+		rows []int32
+		atom []int32
+	}
+	buckets := make(map[uint64]*bucket, n)
+	for _, entries := range shards {
+		for ei := range entries {
+			e := &entries[ei]
+			bk := buckets[e.hash]
+			if bk == nil {
+				bk = &bucket{}
+				buckets[e.hash] = bk
+			}
+			found := -1
+			for i, rep := range bk.rows {
+				if rowsEqual(s.Routes[rep], s.Routes[e.rep]) {
+					found = int(bk.atom[i])
+					break
+				}
+			}
+			if found < 0 {
+				found = len(as.Atoms)
+				as.Atoms = append(as.Atoms, Atom{ID: found, Vector: s.Routes[e.rep]})
+				bk.rows = append(bk.rows, e.rep)
+				bk.atom = append(bk.atom, int32(found))
+			}
+			a := &as.Atoms[found]
+			for _, p := range e.members {
+				a.Prefixes = append(a.Prefixes, int(p))
+				as.ByPrefix[p] = found
+			}
+		}
+	}
+
+	parallel.Chunks(workers, len(as.Atoms), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			as.Atoms[i].Origin, as.Atoms[i].MOASConflict = vectorOrigin(s.Paths, as.Atoms[i].Vector)
+		}
+		return nil
+	})
+	return as
+}
+
 // vectorOrigin returns the majority origin across non-empty paths and
-// whether distinct origins appear (a MOAS conflict).
+// whether distinct origins appear (a MOAS conflict). Origins per vector
+// are almost always 1–2, so a linear scan over a small slice beats a
+// per-atom map allocation (BenchmarkVectorOrigin measures the delta);
+// the slices grow past their stack-friendly capacity only in the rare
+// many-origin MOAS case.
 func vectorOrigin(tbl *aspath.Table, vec []aspath.ID) (uint32, bool) {
-	counts := make(map[uint32]int, 2)
+	origins := make([]uint32, 0, 4)
+	counts := make([]int, 0, 4)
 	for _, id := range vec {
 		if id == aspath.Empty {
 			continue
 		}
-		if o, ok := tbl.Origin(id); ok {
-			counts[o]++
+		o, ok := tbl.Origin(id)
+		if !ok {
+			continue
+		}
+		found := false
+		for i, e := range origins {
+			if e == o {
+				counts[i]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			origins = append(origins, o)
+			counts = append(counts, 1)
 		}
 	}
-	if len(counts) == 0 {
+	if len(origins) == 0 {
 		return 0, false
 	}
-	var best uint32
-	bestN := -1
-	for o, n := range counts {
-		if n > bestN || (n == bestN && o < best) {
-			best, bestN = o, n
+	best, bestN := origins[0], counts[0]
+	for i := 1; i < len(origins); i++ {
+		if counts[i] > bestN || (counts[i] == bestN && origins[i] < best) {
+			best, bestN = origins[i], counts[i]
 		}
 	}
-	return best, len(counts) > 1
+	return best, len(origins) > 1
 }
 
 // ByOrigin groups atom IDs by their origin AS (MOAS-conflicted atoms
@@ -281,10 +427,11 @@ func (as *AtomSet) Stats() GeneralStats {
 			total += s
 		}
 		st.MeanAtomSize = float64(total) / float64(len(sizes))
-		st.P99AtomSize = sizes[(len(sizes)*99)/100]
-		if (len(sizes)*99)/100 >= len(sizes) {
-			st.P99AtomSize = sizes[len(sizes)-1]
-		}
+		// Nearest-rank percentile: the smallest size with at least 99%
+		// of atoms at or below it, i.e. sizes[ceil(0.99·n)−1]. The rank
+		// is always within [1, n], so no bounds guard is needed.
+		rank := (len(sizes)*99 + 99) / 100
+		st.P99AtomSize = sizes[rank-1]
 	}
 	return st
 }

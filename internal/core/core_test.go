@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"net/netip"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/aspath"
@@ -249,6 +251,94 @@ func TestComputeAtomsProperty(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestComputeAtomsWorkersDeterminism asserts the PR's hard invariant at
+// the core layer: the sharded computation returns byte-identical atoms
+// (IDs, member lists, vectors, origins, ByPrefix) for any worker count,
+// on snapshots both above and below the sharding threshold.
+func TestComputeAtomsWorkersDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	paths := []aspath.Seq{nil, {1, 9}, {2, 9}, {1, 2, 9}, {3, 8}, {4, 9}, {2, 3, 8}}
+	for _, nPfx := range []int{100, shardMinPrefixes + 500} {
+		nVP := 6
+		vps := make([]VP, nVP)
+		for i := range vps {
+			vps[i] = VP{Collector: "c", ASN: uint32(i)}
+		}
+		prefixes := make([]netip.Prefix, nPfx)
+		for i := range prefixes {
+			prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		}
+		s := NewSnapshot(0, vps, prefixes)
+		for p := 0; p < nPfx; p++ {
+			for v := 0; v < nVP; v++ {
+				s.SetRoute(p, v, paths[r.Intn(len(paths))])
+			}
+		}
+		want := ComputeAtomsWorkers(s, 1)
+		for _, w := range []int{2, 3, runtime.NumCPU(), runtime.NumCPU() + 3} {
+			got := ComputeAtomsWorkers(s, w)
+			if len(got.Atoms) != len(want.Atoms) {
+				t.Fatalf("n=%d workers=%d: %d atoms, want %d", nPfx, w, len(got.Atoms), len(want.Atoms))
+			}
+			if !reflect.DeepEqual(got.ByPrefix, want.ByPrefix) {
+				t.Fatalf("n=%d workers=%d: ByPrefix differs", nPfx, w)
+			}
+			for i := range want.Atoms {
+				ga, wa := &got.Atoms[i], &want.Atoms[i]
+				if ga.ID != wa.ID || ga.Origin != wa.Origin || ga.MOASConflict != wa.MOASConflict ||
+					!reflect.DeepEqual(ga.Prefixes, wa.Prefixes) || !reflect.DeepEqual(ga.Vector, wa.Vector) {
+					t.Fatalf("n=%d workers=%d: atom %d differs:\n got %+v\nwant %+v", nPfx, w, i, *ga, *wa)
+				}
+			}
+			if got.Stats() != want.Stats() {
+				t.Fatalf("n=%d workers=%d: stats differ", nPfx, w)
+			}
+		}
+	}
+}
+
+func TestStatsP99NearestRank(t *testing.T) {
+	// 200 atoms: 198 singletons + sizes 5 and 9. Nearest-rank P99 is the
+	// 198th of 200 sorted sizes (ceil(0.99·200) = 198) — still 1; with
+	// 100 atoms (99 singletons + one 9), rank 99 picks the largest
+	// singleton, not the max. Construct directly over synthetic sizes by
+	// building snapshots with that atom-size profile.
+	mk := func(sizes []int) GeneralStats {
+		total := 0
+		for _, sz := range sizes {
+			total += sz
+		}
+		prefixes := make([]netip.Prefix, total)
+		for i := range prefixes {
+			prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		}
+		s := NewSnapshot(0, []VP{{Collector: "c", ASN: 1}}, prefixes)
+		p := 0
+		for ai, sz := range sizes {
+			seq := aspath.Seq{uint32(1000 + ai), uint32(1 + ai)}
+			for j := 0; j < sz; j++ {
+				s.SetRoute(p, 0, seq)
+				p++
+			}
+		}
+		return ComputeAtoms(s).Stats()
+	}
+	sizes := make([]int, 0, 100)
+	for i := 0; i < 99; i++ {
+		sizes = append(sizes, 1)
+	}
+	sizes = append(sizes, 9)
+	if got := mk(sizes).P99AtomSize; got != 1 {
+		t.Errorf("P99 of 99×1+9 = %d, want 1 (nearest rank 99)", got)
+	}
+	if got := mk([]int{1, 9}).P99AtomSize; got != 9 {
+		t.Errorf("P99 of {1,9} = %d, want 9", got)
+	}
+	if got := mk([]int{3}).P99AtomSize; got != 3 {
+		t.Errorf("P99 of {3} = %d, want 3", got)
 	}
 }
 

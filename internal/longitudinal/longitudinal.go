@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/sanitize"
 	"repro/internal/topology"
@@ -50,6 +51,12 @@ type Config struct {
 	RefreshRate topology.Curve
 	// MaxK bounds the update-correlation size axis.
 	MaxK int
+	// Workers bounds the worker pools used throughout the pipeline:
+	// eras within RunTrend, the four snapshot offsets within RunEra,
+	// daily snapshots within RunSplits, and the sharded stages inside
+	// sanitization and atom grouping. 0 = one worker per CPU, 1 = fully
+	// sequential. Every output is byte-identical at any value.
+	Workers int
 	// Trace, when non-nil, receives one child span per era and stage
 	// (generation, each snapshot, the update window, each analysis), so
 	// a 20-year study emits a single navigable trace. Nil disables
@@ -164,6 +171,9 @@ func (r *EraRun) sanitizeOptions() sanitize.Options {
 	if opts.Family == 0 {
 		opts.Family = r.Cfg.Family
 	}
+	if opts.Workers == 0 {
+		opts.Workers = r.Cfg.Workers
+	}
 	return opts
 }
 
@@ -212,7 +222,7 @@ func (r *EraRun) SnapshotAt(t float64) (*core.AtomSet, *sanitize.Report, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.ComputeAtomsSpan(snap, sp), rep, nil
+	return core.ComputeAtomsSpanWorkers(snap, sp, r.Cfg.Workers), rep, nil
 }
 
 // Updates synthesizes the update window starting at day offset t and
@@ -280,44 +290,79 @@ type EraResult struct {
 	Atoms     *core.AtomSet
 }
 
-// RunEra executes the complete per-era pipeline.
+// RunEra executes the complete per-era pipeline. The four snapshot
+// offsets and the update window build on the worker pool, then the
+// five analyses run concurrently; at Workers=1 the pipeline is the
+// original sequential one, and the result is identical either way.
 func RunEra(cfg Config, era topology.Era) (*EraResult, error) {
 	sp := cfg.Trace.Child("longitudinal.run_era")
 	sp.SetAttr("era", era.String())
 	defer sp.End()
 	cfg.Trace = sp // nest every stage under this era
 	r := NewEraRun(cfg, era)
-	base, rep, err := r.SnapshotAt(OffsetBase)
-	if err != nil {
+	// Resolve the lazily cached warnings before workers spawn so the
+	// snapshot builds read an immutable EraRun.
+	if _, err := r.updateWarnings(); err != nil {
 		return nil, fmt.Errorf("longitudinal: base snapshot: %w", err)
 	}
-	s8, _, err := r.SnapshotAt(OffsetBase + Offset8h)
+	offsets := []float64{
+		OffsetBase,
+		OffsetBase + Offset8h,
+		OffsetBase + Offset24h,
+		OffsetBase + Offset1Week,
+	}
+	snaps := make([]*core.AtomSet, len(offsets))
+	var rep *sanitize.Report
+	var records []metrics.UpdateRecord
+	// Tasks 0–3 build the snapshots; task 4 synthesizes the update
+	// window. Each writes a distinct slot, and ForEach reports the
+	// lowest-index error, so failures surface exactly as they would
+	// sequentially.
+	err := parallel.ForEach(cfg.Workers, len(offsets)+1, func(i int) error {
+		if i == len(offsets) {
+			var err error
+			records, _, err = r.Updates(OffsetBase, OffsetBase+UpdateHours)
+			return err
+		}
+		s, rp, err := r.SnapshotAt(offsets[i])
+		if err != nil {
+			if i == 0 {
+				return fmt.Errorf("longitudinal: base snapshot: %w", err)
+			}
+			return err
+		}
+		snaps[i] = s
+		if i == 0 {
+			rep = rp
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s24, _, err := r.SnapshotAt(OffsetBase + Offset24h)
-	if err != nil {
-		return nil, err
-	}
-	s1w, _, err := r.SnapshotAt(OffsetBase + Offset1Week)
-	if err != nil {
-		return nil, err
-	}
-	records, _, err := r.Updates(OffsetBase, OffsetBase+UpdateHours)
-	if err != nil {
-		return nil, err
-	}
+	base := snaps[0]
 	res := &EraResult{
-		Era:       era,
-		Stats:     base.Stats(),
-		Report:    rep,
-		Formation: metrics.FormationDistancesSpan(base, metrics.DefaultFormationOptions(), sp),
-		Stab8h:    metrics.CompareStabilitySpan(base, s8, sp),
-		Stab24h:   metrics.CompareStabilitySpan(base, s24, sp),
-		Stab1w:    metrics.CompareStabilitySpan(base, s1w, sp),
-		Corr:      metrics.CorrelateUpdatesSpan(base, records, cfg.MaxK, sp),
-		Atoms:     base,
+		Era:    era,
+		Stats:  base.Stats(),
+		Report: rep,
+		Atoms:  base,
 	}
+	// The analyses only read the snapshots; each fills its own field.
+	parallel.ForEach(cfg.Workers, 5, func(i int) error {
+		switch i {
+		case 0:
+			res.Formation = metrics.FormationDistancesSpan(base, metrics.DefaultFormationOptions(), sp)
+		case 1:
+			res.Stab8h = metrics.CompareStabilitySpan(base, snaps[1], sp)
+		case 2:
+			res.Stab24h = metrics.CompareStabilitySpan(base, snaps[2], sp)
+		case 3:
+			res.Stab1w = metrics.CompareStabilitySpan(base, snaps[3], sp)
+		case 4:
+			res.Corr = metrics.CorrelateUpdatesSpan(base, records, cfg.MaxK, sp)
+		}
+		return nil
+	})
 	sp.SetAttr("atoms", res.Stats.Atoms)
 	sp.SetAttr("prefixes", res.Stats.Prefixes)
 	return res, nil
@@ -339,53 +384,60 @@ type TrendPoint struct {
 }
 
 // RunTrend runs the pipeline across eras (Figures 4, 5, 9, 11, 12, 13).
+// Eras are independent worlds, so they fan out across the worker pool;
+// Map returns the points in era order regardless of completion order.
 func RunTrend(cfg Config, eras []topology.Era) ([]TrendPoint, error) {
 	root := cfg.Trace
-	var out []TrendPoint
-	for _, era := range eras {
-		sp := root.Child("longitudinal.trend_era")
-		sp.SetAttr("era", era.String())
-		ecfg := cfg
-		ecfg.Trace = sp
-		r := NewEraRun(ecfg, era)
-		base, rep, err := r.SnapshotAt(OffsetBase)
-		if err != nil {
-			sp.End()
-			return nil, err
-		}
-		s8, _, err := r.SnapshotAt(OffsetBase + Offset8h)
-		if err != nil {
-			sp.End()
-			return nil, err
-		}
-		s1w, _, err := r.SnapshotAt(OffsetBase + Offset1Week)
-		if err != nil {
-			sp.End()
-			return nil, err
-		}
-		form := metrics.FormationDistancesSpan(base, metrics.DefaultFormationOptions(), sp)
-		st8 := metrics.CompareStabilitySpan(base, s8, sp)
-		st1w := metrics.CompareStabilitySpan(base, s1w, sp)
-		tp := TrendPoint{
-			Era:               era,
-			CAM8h:             st8.CAM,
-			MPM8h:             st8.MPM,
-			CAM1w:             st1w.CAM,
-			MPM1w:             st1w.MPM,
-			FullFeeds:         rep.FullFeeds,
-			FullFeedThreshold: rep.FullFeedThreshold,
-			Stats:             base.Stats(),
-		}
-		tp.FormationShare = shares(form.AtomsAtDistance, form.TotalAtoms)
-		multiTotal := 0
-		for _, n := range form.AtomsAtDistanceMultiAtom {
-			multiTotal += n
-		}
-		tp.FormationShareMulti = shares(form.AtomsAtDistanceMultiAtom, multiTotal)
-		out = append(out, tp)
-		sp.End()
+	out, err := parallel.Map(cfg.Workers, len(eras), func(i int) (TrendPoint, error) {
+		return trendPoint(cfg, root, eras[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// trendPoint computes one era's trend numbers — the per-worker unit of
+// RunTrend.
+func trendPoint(cfg Config, root *obs.Span, era topology.Era) (TrendPoint, error) {
+	sp := root.Child("longitudinal.trend_era")
+	sp.SetAttr("era", era.String())
+	defer sp.End()
+	ecfg := cfg
+	ecfg.Trace = sp
+	r := NewEraRun(ecfg, era)
+	base, rep, err := r.SnapshotAt(OffsetBase)
+	if err != nil {
+		return TrendPoint{}, err
+	}
+	s8, _, err := r.SnapshotAt(OffsetBase + Offset8h)
+	if err != nil {
+		return TrendPoint{}, err
+	}
+	s1w, _, err := r.SnapshotAt(OffsetBase + Offset1Week)
+	if err != nil {
+		return TrendPoint{}, err
+	}
+	form := metrics.FormationDistancesSpan(base, metrics.DefaultFormationOptions(), sp)
+	st8 := metrics.CompareStabilitySpan(base, s8, sp)
+	st1w := metrics.CompareStabilitySpan(base, s1w, sp)
+	tp := TrendPoint{
+		Era:               era,
+		CAM8h:             st8.CAM,
+		MPM8h:             st8.MPM,
+		CAM1w:             st1w.CAM,
+		MPM1w:             st1w.MPM,
+		FullFeeds:         rep.FullFeeds,
+		FullFeedThreshold: rep.FullFeedThreshold,
+		Stats:             base.Stats(),
+	}
+	tp.FormationShare = shares(form.AtomsAtDistance, form.TotalAtoms)
+	multiTotal := 0
+	for _, n := range form.AtomsAtDistanceMultiAtom {
+		multiTotal += n
+	}
+	tp.FormationShareMulti = shares(form.AtomsAtDistanceMultiAtom, multiTotal)
+	return tp, nil
 }
 
 func shares(counts []int, total int) []float64 {
@@ -414,18 +466,29 @@ func RunSplits(cfg Config, era topology.Era, days int) (*SplitStudy, error) {
 	defer sp.End()
 	cfg.Trace = sp
 	r := NewEraRun(cfg, era)
-	snaps := make([]*core.AtomSet, days+2)
-	for d := 0; d < days+2; d++ {
+	// Resolve the lazily cached warnings before the snapshot fan-out
+	// (see RunEra).
+	if _, err := r.updateWarnings(); err != nil {
+		return nil, err
+	}
+	snaps, err := parallel.Map(cfg.Workers, days+2, func(d int) (*core.AtomSet, error) {
 		s, _, err := r.SnapshotAt(OffsetBase + float64(d))
-		if err != nil {
-			return nil, err
-		}
-		snaps[d] = s
+		return s, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each day's detection reads a sliding window of three snapshots;
+	// aggregation stays sequential so events keep day order.
+	dayEvents, err := parallel.Map(cfg.Workers, days, func(d int) ([]metrics.SplitEvent, error) {
+		return metrics.DetectSplitsSpan(snaps[d], snaps[d+1], snaps[d+2], sp), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	study := &SplitStudy{}
 	var all []metrics.SplitEvent
-	for d := 0; d+2 < len(snaps); d++ {
-		events := metrics.DetectSplitsSpan(snaps[d], snaps[d+1], snaps[d+2], sp)
+	for d, events := range dayEvents {
 		study.Days = append(study.Days, metrics.BreakdownDay(d, events))
 		all = append(all, events...)
 	}

@@ -11,11 +11,13 @@ import (
 	"io"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/aspath"
 	"repro/internal/bgpstream"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/prefixset"
 )
 
@@ -47,6 +49,10 @@ type Options struct {
 	// 4 = IPv4 only, 6 = IPv6 only. Atoms are computed per family, and
 	// full-feed inference runs within the family's own table sizes.
 	Family int
+	// Workers bounds the worker pool for the parallel pipeline stages
+	// (per-feed path interning, snapshot assembly): 0 = one worker per
+	// CPU, 1 = fully sequential. Output is identical at any value.
+	Workers int
 
 	// Span, when non-nil, receives child spans for each pipeline stage
 	// (ingest, intern, abnormal peers, full-feed inference, admission,
@@ -221,11 +227,18 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 		routes map[netip.Prefix]aspath.ID
 	}
 	var snapTime uint32
-	feeds := make([]*feedData, 0, len(list))
 	for _, f := range list {
 		if snapTime == 0 {
 			snapTime = f.Time
 		}
+	}
+	// Per-feed interning runs on the worker pool: each worker owns its
+	// feed's routes map and interns into the shared striped table. Path
+	// ID values depend on interleaving, but every consumer treats IDs as
+	// opaque equality tokens, so the snapshot is unchanged.
+	feeds := make([]*feedData, len(list))
+	parallel.ForEach(opts.Workers, len(list), func(i int) error {
+		f := list[i]
 		fd := &feedData{
 			stat: FeedStat{
 				VP:           f.VP,
@@ -250,8 +263,9 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 			}
 			fd.routes[pfx] = table.Intern(seq)
 		}
-		feeds = append(feeds, fd)
-	}
+		feeds[i] = fd
+		return nil
+	})
 	if reg != nil {
 		reg.Counter("sanitize.feeds").Add(int64(len(feeds)))
 		var loops, dups, assets int64
@@ -424,20 +438,28 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	snap := core.NewSnapshot(snapTime, vps, admitted)
 	// Share the interning table built during ingestion.
 	snap.Paths = table
-	for p, pfx := range admitted {
-		origins := map[uint32]struct{}{}
-		for v, fd := range vpFeeds {
-			if id, ok := fd.routes[pfx]; ok {
-				snap.Routes[p][v] = id
-				if o, ok := table.Origin(id); ok {
-					origins[o] = struct{}{}
+	// Each chunk owns a disjoint range of snapshot rows; only the MOAS
+	// tally is shared, so it accumulates atomically.
+	var moas atomic.Int64
+	parallel.Chunks(opts.Workers, len(admitted), func(lo, hi int) error {
+		for p := lo; p < hi; p++ {
+			pfx := admitted[p]
+			origins := map[uint32]struct{}{}
+			for v, fd := range vpFeeds {
+				if id, ok := fd.routes[pfx]; ok {
+					snap.Routes[p][v] = id
+					if o, ok := table.Origin(id); ok {
+						origins[o] = struct{}{}
+					}
 				}
 			}
+			if len(origins) > 1 {
+				moas.Add(1)
+			}
 		}
-		if len(origins) > 1 {
-			rep.MOASPrefixes++
-		}
-	}
+		return nil
+	})
+	rep.MOASPrefixes = int(moas.Load())
 	if reg != nil {
 		reg.Counter("sanitize.moas_prefixes").Add(int64(rep.MOASPrefixes))
 	}

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench.sh — run the PR's key benchmarks with -benchmem and distill
+# them into BENCH_pr2.json: one entry per benchmark (ns/op, B/op,
+# allocs/op) plus the RunTrend parallel speedup (workers=1 vs the
+# largest pool) and the machine's core count, since the achievable
+# speedup is bounded by it. Run via `make bench` or directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_pr2.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== root benchmarks (end-to-end pipeline)"
+go test -run xxx -bench 'BenchmarkAtomComputation$|BenchmarkSnapshotBuildFastPath$|BenchmarkRunTrendParallel' \
+    -benchmem -benchtime 2x . | tee -a "$RAW"
+
+echo "== core benchmarks (sharded grouping, origin kernel)"
+go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin' \
+    -benchmem ./internal/core/ | tee -a "$RAW"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[name] = $i
+        if ($(i+1) == "B/op")      bytes[name] = $i
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
+    order[n++] = name
+}
+END {
+    printf "{\n  \"bench\": \"pr2 parallel pipeline\",\n"
+    cmd = "nproc 2>/dev/null || echo 1"; cmd | getline nc; close(cmd)
+    printf "  \"cores\": %d,\n", nc
+    printf "  \"results\": [\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+    }
+    printf "  ]"
+    base = ns["BenchmarkRunTrendParallel/workers=1"]
+    best = ""
+    for (i = 0; i < n; i++) {
+        if (order[i] ~ /^BenchmarkRunTrendParallel\/workers=/ && order[i] != "BenchmarkRunTrendParallel/workers=1")
+            best = order[i]   # benchmarks run in ascending worker order
+    }
+    if (base != "" && best != "" && ns[best] > 0)
+        printf ",\n  \"run_trend_speedup\": {\"baseline\": \"workers=1\", \"against\": \"%s\", \"speedup\": %.3f}", \
+            best, base / ns[best]
+    printf "\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -19,4 +19,10 @@ go test ./...
 echo "== go test -race (smoke: internal/obs internal/bgpstream)"
 go test -race -count=1 ./internal/obs/ ./internal/bgpstream/
 
+echo "== go test -race (worker pool + striped intern table)"
+go test -race -count=1 ./internal/parallel/ ./internal/aspath/
+
+echo "== go test -race (determinism at every worker count)"
+go test -race -count=1 -run 'Determinism' ./internal/core/ ./internal/longitudinal/
+
 echo "verify: OK"
