@@ -8,7 +8,7 @@ build:
 test:
 	$(GO) test ./...
 
-# Key benchmarks, distilled into BENCH_pr2.json (see scripts/bench.sh).
+# Key benchmarks, distilled into BENCH_pr3.json (see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
 

@@ -593,3 +593,66 @@ func TestSeqStringAndReflectEqual(t *testing.T) {
 		t.Error("DeepEqual broken for Seq")
 	}
 }
+
+// TestInternHitPathAllocs is the PR's allocation-regression guard for
+// the interning fast path: re-interning an already-known sequence (the
+// steady state of snapshot assembly) must not allocate — the key is
+// encoded into a stack buffer and looked up via the compiler's
+// non-escaping map[string(buf)] form.
+func TestInternHitPathAllocs(t *testing.T) {
+	tbl := NewTable()
+	seqs := []Seq{
+		{3356, 1299, 65001},
+		{3356, 1299, 1299, 1299, 65002},
+		{64512, 3356, 174, 2914, 1239, 701, 7018, 65003},
+	}
+	for _, s := range seqs {
+		tbl.Intern(s)
+	}
+	for _, s := range seqs {
+		s := s
+		if got := testing.AllocsPerRun(1000, func() {
+			if tbl.Intern(s) == Empty {
+				t.Fatal("unexpected Empty")
+			}
+		}); got != 0 {
+			t.Errorf("Intern hit path allocs/op = %v for %v, want 0", got, s)
+		}
+	}
+}
+
+// TestLookupAllocs holds Lookup to the same zero-allocation bar.
+func TestLookupAllocs(t *testing.T) {
+	tbl := NewTable()
+	s := Seq{3356, 1299, 65001}
+	tbl.Intern(s)
+	if got := testing.AllocsPerRun(1000, func() {
+		if _, ok := tbl.Lookup(s); !ok {
+			t.Fatal("lookup missed")
+		}
+	}); got != 0 {
+		t.Errorf("Lookup allocs/op = %v, want 0", got)
+	}
+	missing := Seq{9999, 8888}
+	if got := testing.AllocsPerRun(1000, func() {
+		if _, ok := tbl.Lookup(missing); ok {
+			t.Fatal("lookup hit")
+		}
+	}); got != 0 {
+		t.Errorf("Lookup(miss) allocs/op = %v, want 0", got)
+	}
+}
+
+// BenchmarkInternHit measures the warmed interning fast path.
+func BenchmarkInternHit(b *testing.B) {
+	tbl := NewTable()
+	s := Seq{3356, 1299, 2914, 65001}
+	tbl.Intern(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl.Intern(s) == Empty {
+			b.Fatal("unexpected Empty")
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package aspath
 
 import (
-	"encoding/binary"
 	"sync"
 	"sync/atomic"
 )
@@ -52,17 +51,24 @@ func NewTable() *Table {
 	return t
 }
 
-// key encodes a sequence into a compact string key (big-endian uint32s).
-func key(s Seq) string {
-	buf := make([]byte, 4*len(s))
-	for i, a := range s {
-		binary.BigEndian.PutUint32(buf[4*i:], a)
+// keyStackBytes sizes the on-stack key buffer used by Intern and
+// Lookup: paths up to 32 hops (far beyond any sane AS path) encode
+// without touching the heap.
+const keyStackBytes = 128
+
+// appendKey encodes a sequence onto buf as big-endian uint32s — the
+// compact form used as the intern-map key. It only appends, so callers
+// pass a stack-backed buf and pay a heap allocation solely for
+// pathological >32-hop paths.
+func appendKey(buf []byte, s Seq) []byte {
+	for _, a := range s {
+		buf = append(buf, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 	}
-	return string(buf)
+	return buf
 }
 
 // shardOf maps a key to its stripe (FNV-1a over the key bytes).
-func shardOf(k string) uint32 {
+func shardOf(k []byte) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(k); i++ {
 		h ^= uint32(k[i])
@@ -74,48 +80,64 @@ func shardOf(k string) uint32 {
 // Intern returns the ID for seq, allocating one if it is new. The empty
 // sequence always maps to Empty. The table stores its own copy; callers
 // may reuse seq's backing array.
+//
+// The hit path — an already-interned sequence, the overwhelmingly
+// common case once a table warms up — is allocation-free: the key is
+// encoded into a stack buffer and the map lookup uses the compiler's
+// non-escaping map[string(buf)] form, so only genuinely new sequences
+// pay for a key copy (TestInternHitPathAllocs locks this in).
 func (t *Table) Intern(seq Seq) ID {
 	if len(seq) == 0 {
 		return Empty
 	}
-	k := key(seq)
-	sh := &t.shards[shardOf(k)]
+	var stack [keyStackBytes]byte
+	buf := appendKey(stack[:0], seq)
+	sh := &t.shards[shardOf(buf)]
 	sh.mu.RLock()
-	id, ok := sh.ids[k]
+	id, ok := sh.ids[string(buf)]
 	sh.mu.RUnlock()
 	if ok {
 		return id
 	}
+	return t.internSlow(sh, buf, seq)
+}
+
+// internSlow is Intern's miss path: take the write lock, re-check, and
+// allocate the next dense ID. Split out so the hit path stays small
+// enough to keep its key buffer on the stack.
+func (t *Table) internSlow(sh *tableShard, buf []byte, seq Seq) ID {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if id, ok = sh.ids[k]; ok {
+	if id, ok := sh.ids[string(buf)]; ok {
 		return id
 	}
-	// Allocate the next dense ID. Appending in place is safe for the
-	// lock-free readers: a reader holding the old slice header never
-	// indexes past its own length, and the new header is published
-	// atomically only after the element is written.
+	// Appending in place is safe for the lock-free readers: a reader
+	// holding the old slice header never indexes past its own length,
+	// and the new header is published atomically only after the element
+	// is written.
 	t.seqMu.Lock()
 	cur := *t.seqs.Load()
-	id = ID(len(cur))
+	id := ID(len(cur))
 	next := append(cur, seq.Clone())
 	t.seqs.Store(&next)
 	t.seqMu.Unlock()
-	sh.ids[k] = id
+	sh.ids[string(buf)] = id
 	return id
 }
 
 // Lookup returns the ID for seq without interning, and false if the
-// sequence has not been interned.
+// sequence has not been interned. Allocation-free like Intern's hit
+// path.
 func (t *Table) Lookup(seq Seq) (ID, bool) {
 	if len(seq) == 0 {
 		return Empty, true
 	}
-	k := key(seq)
-	sh := &t.shards[shardOf(k)]
+	var stack [keyStackBytes]byte
+	buf := appendKey(stack[:0], seq)
+	sh := &t.shards[shardOf(buf)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	id, ok := sh.ids[k]
+	id, ok := sh.ids[string(buf)]
 	return id, ok
 }
 

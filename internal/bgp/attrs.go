@@ -229,6 +229,13 @@ func appendASPathData(dst []byte, p aspath.Path, four bool) ([]byte, error) {
 	return dst, nil
 }
 
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // pathNeedsAS4 reports whether any ASN in the path does not fit in 2 octets.
 func pathNeedsAS4(p aspath.Path) bool {
 	for _, s := range p.Segments {
@@ -261,83 +268,11 @@ var attrFlags = map[AttrType]uint8{
 }
 
 // appendAttr encodes one attribute with canonical flags, choosing the
-// extended-length form when the payload exceeds 255 bytes.
+// extended-length form when the payload exceeds 255 bytes. The body is
+// encoded in place after a short-form header; on overflow the body is
+// shifted one byte for the extended length — no per-attribute scratch.
 func appendAttr(dst []byte, a Attr, opt Options) ([]byte, error) {
-	var body []byte
-	var err error
-	switch v := a.(type) {
-	case Origin:
-		body = []byte{byte(v)}
-	case ASPath:
-		body, err = appendASPathData(nil, v.Path, opt.AS4)
-	case NextHop:
-		addr := netip.Addr(v)
-		if !addr.Is4() {
-			return nil, fmt.Errorf("%w: NEXT_HOP must be IPv4", ErrBadAttr)
-		}
-		b4 := addr.As4()
-		body = b4[:]
-	case MED:
-		body = binary.BigEndian.AppendUint32(nil, uint32(v))
-	case LocalPref:
-		body = binary.BigEndian.AppendUint32(nil, uint32(v))
-	case AtomicAggregate:
-		body = nil
-	case Aggregator:
-		if !v.Addr.Is4() {
-			return nil, fmt.Errorf("%w: AGGREGATOR address must be IPv4", ErrBadAttr)
-		}
-		if opt.AS4 {
-			body = binary.BigEndian.AppendUint32(nil, v.ASN)
-		} else {
-			asn := v.ASN
-			if asn > 0xffff {
-				asn = AS_TRANS
-			}
-			body = binary.BigEndian.AppendUint16(nil, uint16(asn))
-		}
-		b4 := v.Addr.As4()
-		body = append(body, b4[:]...)
-	case Communities:
-		for _, c := range v {
-			body = binary.BigEndian.AppendUint32(body, c)
-		}
-	case LargeCommunities:
-		for _, c := range v {
-			body = binary.BigEndian.AppendUint32(body, c.Global)
-			body = binary.BigEndian.AppendUint32(body, c.Local1)
-			body = binary.BigEndian.AppendUint32(body, c.Local2)
-		}
-	case MPReach:
-		body = binary.BigEndian.AppendUint16(body, v.AFI)
-		body = append(body, v.SAFI, byte(len(v.NextHop)))
-		body = append(body, v.NextHop...)
-		body = append(body, 0) // reserved SNPA count
-		for _, n := range v.NLRI {
-			body, err = appendNLRI(body, n, opt.AddPath)
-			if err != nil {
-				return nil, err
-			}
-		}
-	case MPUnreach:
-		body = binary.BigEndian.AppendUint16(body, v.AFI)
-		body = append(body, v.SAFI)
-		for _, n := range v.NLRI {
-			body, err = appendNLRI(body, n, opt.AddPath)
-			if err != nil {
-				return nil, err
-			}
-		}
-	case AS4Path:
-		body, err = appendASPathData(nil, v.Path, true)
-	case AS4Aggregator:
-		if !v.Addr.Is4() {
-			return nil, fmt.Errorf("%w: AS4_AGGREGATOR address must be IPv4", ErrBadAttr)
-		}
-		body = binary.BigEndian.AppendUint32(nil, v.ASN)
-		b4 := v.Addr.As4()
-		body = append(body, b4[:]...)
-	case Unknown:
+	if v, ok := a.(Unknown); ok {
 		flags := v.Flags &^ flagExtLen
 		if len(v.Data) > 255 {
 			flags |= flagExtLen
@@ -349,29 +284,111 @@ func appendAttr(dst []byte, a Attr, opt Options) ([]byte, error) {
 			dst = append(dst, byte(len(v.Data)))
 		}
 		return append(dst, v.Data...), nil
+	}
+
+	flags := attrFlags[a.Type()]
+	dst = append(dst, flags, byte(a.Type()), 0) // short-form length, patched below
+	bodyStart := len(dst)
+
+	var err error
+	switch v := a.(type) {
+	case Origin:
+		dst = append(dst, byte(v))
+	case ASPath:
+		dst, err = appendASPathData(dst, v.Path, opt.AS4)
+	case NextHop:
+		addr := netip.Addr(v)
+		if !addr.Is4() {
+			return nil, fmt.Errorf("%w: NEXT_HOP must be IPv4", ErrBadAttr)
+		}
+		b4 := addr.As4()
+		dst = append(dst, b4[:]...)
+	case MED:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(v))
+	case LocalPref:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(v))
+	case AtomicAggregate:
+		// zero-length body
+	case Aggregator:
+		if !v.Addr.Is4() {
+			return nil, fmt.Errorf("%w: AGGREGATOR address must be IPv4", ErrBadAttr)
+		}
+		if opt.AS4 {
+			dst = binary.BigEndian.AppendUint32(dst, v.ASN)
+		} else {
+			asn := v.ASN
+			if asn > 0xffff {
+				asn = AS_TRANS
+			}
+			dst = binary.BigEndian.AppendUint16(dst, uint16(asn))
+		}
+		b4 := v.Addr.As4()
+		dst = append(dst, b4[:]...)
+	case Communities:
+		for _, c := range v {
+			dst = binary.BigEndian.AppendUint32(dst, c)
+		}
+	case LargeCommunities:
+		for _, c := range v {
+			dst = binary.BigEndian.AppendUint32(dst, c.Global)
+			dst = binary.BigEndian.AppendUint32(dst, c.Local1)
+			dst = binary.BigEndian.AppendUint32(dst, c.Local2)
+		}
+	case MPReach:
+		dst = binary.BigEndian.AppendUint16(dst, v.AFI)
+		dst = append(dst, v.SAFI, byte(len(v.NextHop)))
+		dst = append(dst, v.NextHop...)
+		dst = append(dst, 0) // reserved SNPA count
+		for _, n := range v.NLRI {
+			dst, err = appendNLRI(dst, n, opt.AddPath)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case MPUnreach:
+		dst = binary.BigEndian.AppendUint16(dst, v.AFI)
+		dst = append(dst, v.SAFI)
+		for _, n := range v.NLRI {
+			dst, err = appendNLRI(dst, n, opt.AddPath)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case AS4Path:
+		dst, err = appendASPathData(dst, v.Path, true)
+	case AS4Aggregator:
+		if !v.Addr.Is4() {
+			return nil, fmt.Errorf("%w: AS4_AGGREGATOR address must be IPv4", ErrBadAttr)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, v.ASN)
+		b4 := v.Addr.As4()
+		dst = append(dst, b4[:]...)
 	default:
 		return nil, fmt.Errorf("%w: cannot encode %T", ErrBadAttr, a)
 	}
 	if err != nil {
 		return nil, err
 	}
-	flags := attrFlags[a.Type()]
-	if len(body) > 255 {
-		flags |= flagExtLen
-	}
-	dst = append(dst, flags, byte(a.Type()))
-	if flags&flagExtLen != 0 {
-		dst = binary.BigEndian.AppendUint16(dst, uint16(len(body)))
+
+	blen := len(dst) - bodyStart
+	if blen > 255 {
+		// Extended length: make room for the second length byte and
+		// shift the body right by one.
+		dst = append(dst, 0)
+		copy(dst[bodyStart+1:], dst[bodyStart:len(dst)-1])
+		dst[bodyStart-3] = flags | flagExtLen
+		binary.BigEndian.PutUint16(dst[bodyStart-1:], uint16(blen))
 	} else {
-		dst = append(dst, byte(len(body)))
+		dst[bodyStart-1] = byte(blen)
 	}
-	return append(dst, body...), nil
+	return dst, nil
 }
 
-// parseAttrs decodes a path-attribute block.
-func parseAttrs(b []byte, opt Options) ([]Attr, error) {
-	var out []Attr
-	seen := make(map[AttrType]bool)
+// parseAttrs decodes a path-attribute block, appending to dst (which
+// may be nil, or a reused slice truncated to length 0).
+func parseAttrs(dst []Attr, b []byte, opt Options) ([]Attr, error) {
+	out := dst
+	var seen [256]bool
 	for len(b) > 0 {
 		if len(b) < 3 {
 			return nil, fmt.Errorf("%w: attribute header", ErrTruncated)
@@ -419,16 +436,36 @@ func parseAttrBody(flags uint8, typ AttrType, data []byte, opt Options) (Attr, e
 		}
 		return Origin(data[0]), nil
 	case AttrTypeASPath:
+		var m map[string]Attr
+		if opt.Cache != nil {
+			m = opt.Cache.paths[b2i(opt.AS4)]
+			if a, ok := m[string(data)]; ok {
+				return a, nil
+			}
+		}
 		p, err := parseASPathData(data, opt.AS4)
 		if err != nil {
 			return nil, err
 		}
-		return ASPath{Path: p}, nil
+		a := ASPath{Path: p}
+		if m != nil {
+			m[string(data)] = a
+		}
+		return a, nil
 	case AttrTypeNextHop:
 		if len(data) != 4 {
 			return nil, fmt.Errorf("%w: NEXT_HOP length %d", ErrBadAttr, len(data))
 		}
-		return NextHop(netip.AddrFrom4([4]byte(data))), nil
+		addr := netip.AddrFrom4([4]byte(data))
+		if c := opt.Cache; c != nil {
+			if a, ok := c.nextHops[addr]; ok {
+				return a, nil
+			}
+			a := NextHop(addr)
+			c.nextHops[addr] = a
+			return a, nil
+		}
+		return NextHop(addr), nil
 	case AttrTypeMED:
 		if len(data) != 4 {
 			return nil, fmt.Errorf("%w: MED length %d", ErrBadAttr, len(data))
@@ -465,9 +502,17 @@ func parseAttrBody(flags uint8, typ AttrType, data []byte, opt Options) (Attr, e
 		if len(data)%4 != 0 {
 			return nil, fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttr, len(data))
 		}
+		if c := opt.Cache; c != nil {
+			if a, ok := c.comms[string(data)]; ok {
+				return a, nil
+			}
+		}
 		cs := make(Communities, len(data)/4)
 		for i := range cs {
 			cs[i] = binary.BigEndian.Uint32(data[i*4:])
+		}
+		if c := opt.Cache; c != nil {
+			c.comms[string(data)] = cs
 		}
 		return cs, nil
 	case AttrTypeLargeCommunities:
@@ -515,11 +560,20 @@ func parseAttrBody(flags uint8, typ AttrType, data []byte, opt Options) (Attr, e
 		m.NLRI = nlri
 		return m, nil
 	case AttrTypeAS4Path:
+		if c := opt.Cache; c != nil {
+			if a, ok := c.paths4[string(data)]; ok {
+				return a, nil
+			}
+		}
 		p, err := parseASPathData(data, true)
 		if err != nil {
 			return nil, err
 		}
-		return AS4Path{Path: p}, nil
+		a := AS4Path{Path: p}
+		if c := opt.Cache; c != nil {
+			c.paths4[string(data)] = a
+		}
+		return a, nil
 	case AttrTypeAS4Aggregator:
 		if len(data) != 8 {
 			return nil, fmt.Errorf("%w: AS4_AGGREGATOR length %d", ErrBadAttr, len(data))

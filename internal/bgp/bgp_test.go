@@ -335,26 +335,26 @@ func TestExtendedLengthASPath(t *testing.T) {
 }
 
 func TestParseAttrsErrors(t *testing.T) {
-	if _, err := parseAttrs([]byte{0x40}, Options{}); !errors.Is(err, ErrTruncated) {
+	if _, err := parseAttrs(nil, []byte{0x40}, Options{}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("short header: %v", err)
 	}
-	if _, err := parseAttrs([]byte{0x50, 1}, Options{}); !errors.Is(err, ErrTruncated) {
+	if _, err := parseAttrs(nil, []byte{0x50, 1}, Options{}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("short ext header: %v", err)
 	}
-	if _, err := parseAttrs([]byte{0x40, 1, 5, 0}, Options{}); !errors.Is(err, ErrTruncated) {
+	if _, err := parseAttrs(nil, []byte{0x40, 1, 5, 0}, Options{}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("short body: %v", err)
 	}
 	// Duplicate attribute.
 	b, _ := MarshalAttributes([]Attr{Origin(0)}, Options{})
 	b = append(b, b...)
-	if _, err := parseAttrs(b, Options{}); !errors.Is(err, ErrDupAttr) {
+	if _, err := parseAttrs(nil, b, Options{}); !errors.Is(err, ErrDupAttr) {
 		t.Errorf("dup: %v", err)
 	}
 	// Bad ORIGIN value / length.
-	if _, err := parseAttrs([]byte{0x40, 1, 1, 9}, Options{}); !errors.Is(err, ErrBadAttr) {
+	if _, err := parseAttrs(nil, []byte{0x40, 1, 1, 9}, Options{}); !errors.Is(err, ErrBadAttr) {
 		t.Errorf("bad origin: %v", err)
 	}
-	if _, err := parseAttrs([]byte{0x40, 1, 2, 0, 0}, Options{}); !errors.Is(err, ErrBadAttr) {
+	if _, err := parseAttrs(nil, []byte{0x40, 1, 2, 0, 0}, Options{}); !errors.Is(err, ErrBadAttr) {
 		t.Errorf("origin len: %v", err)
 	}
 	// Bad lengths for fixed-size attrs.
@@ -368,15 +368,15 @@ func TestParseAttrsErrors(t *testing.T) {
 		{0xc0, 32, 5, 0, 0, 0, 0, 0}, // LARGE not multiple of 12
 		{0xc0, 18, 3, 0, 0, 0},       // AS4_AGGREGATOR len 3
 	} {
-		if _, err := parseAttrs(tc, Options{}); !errors.Is(err, ErrBadAttr) {
+		if _, err := parseAttrs(nil, tc, Options{}); !errors.Is(err, ErrBadAttr) {
 			t.Errorf("attr %d: %v", tc[1], err)
 		}
 	}
 	// Truncated MP_REACH.
-	if _, err := parseAttrs([]byte{0x80, 14, 2, 0, 2}, Options{}); !errors.Is(err, ErrTruncated) {
+	if _, err := parseAttrs(nil, []byte{0x80, 14, 2, 0, 2}, Options{}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("mp_reach: %v", err)
 	}
-	if _, err := parseAttrs([]byte{0x80, 15, 2, 0, 2}, Options{}); !errors.Is(err, ErrTruncated) {
+	if _, err := parseAttrs(nil, []byte{0x80, 15, 2, 0, 2}, Options{}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("mp_unreach: %v", err)
 	}
 }

@@ -35,12 +35,17 @@ func appendNLRI(dst []byte, n NLRI, addPath bool) ([]byte, error) {
 // family (NLRI in the top-level UPDATE fields is always IPv4; MP-BGP NLRI
 // family follows the attribute's AFI).
 func parseNLRI(b []byte, v6, addPath bool) ([]NLRI, error) {
-	var out []NLRI
+	return appendParsedNLRI(nil, b, v6, addPath)
+}
+
+// appendParsedNLRI decodes a run of NLRI entries from b, appending to
+// dst. The address scratch lives on the stack, so steady-state decoding
+// into a reused dst is allocation-free.
+func appendParsedNLRI(dst []NLRI, b []byte, v6, addPath bool) ([]NLRI, error) {
+	out := dst
 	maxBits := 32
-	addrLen := 4
 	if v6 {
 		maxBits = 128
-		addrLen = 16
 	}
 	for len(b) > 0 {
 		var pathID uint32
@@ -60,8 +65,8 @@ func parseNLRI(b []byte, v6, addPath bool) ([]NLRI, error) {
 		if len(b) < nbytes {
 			return nil, fmt.Errorf("%w: NLRI needs %d address bytes, have %d", ErrTruncated, nbytes, len(b))
 		}
-		buf := make([]byte, addrLen)
-		copy(buf, b[:nbytes])
+		var buf [16]byte
+		copy(buf[:], b[:nbytes])
 		b = b[nbytes:]
 		// Trailing bits beyond the prefix length must be zero for the
 		// prefix to be canonical; we mask rather than reject, matching
@@ -71,9 +76,9 @@ func parseNLRI(b []byte, v6, addPath bool) ([]NLRI, error) {
 		}
 		var addr netip.Addr
 		if v6 {
-			addr = netip.AddrFrom16([16]byte(buf))
+			addr = netip.AddrFrom16(buf)
 		} else {
-			addr = netip.AddrFrom4([4]byte(buf))
+			addr = netip.AddrFrom4([4]byte(buf[:4]))
 		}
 		out = append(out, NLRI{Prefix: netip.PrefixFrom(addr, bits), PathID: pathID})
 	}

@@ -98,124 +98,158 @@ func (u *Update) Unreachable() []NLRI {
 // If the path contains 4-octet ASNs and opt.AS4 is false, an AS4_PATH
 // attribute is appended automatically unless one is already present.
 func (u *Update) Marshal(opt Options) ([]byte, error) {
-	var withdrawn []byte
+	return u.AppendMessage(nil, opt)
+}
+
+// AppendMessage appends the encoded UPDATE (header included) to dst and
+// returns the extended slice. Encoding is single-pass: section lengths
+// are back-patched, so a caller looping over messages can reuse one
+// scratch buffer and encode with zero per-message allocations.
+func (u *Update) AppendMessage(dst []byte, opt Options) ([]byte, error) {
+	start := len(dst)
+	var zero [HeaderLen]byte
+	dst = append(dst, zero[:]...)
+
 	var err error
+	dst = append(dst, 0, 0) // withdrawn routes length, patched below
+	wStart := len(dst)
 	for _, n := range u.Withdrawn {
 		if !n.Prefix.Addr().Is4() {
 			return nil, fmt.Errorf("%w: IPv6 prefix in top-level withdrawn", ErrBadNLRI)
 		}
-		withdrawn, err = appendNLRI(withdrawn, n, opt.AddPath)
+		dst, err = appendNLRI(dst, n, opt.AddPath)
 		if err != nil {
 			return nil, err
 		}
 	}
+	binary.BigEndian.PutUint16(dst[wStart-2:], uint16(len(dst)-wStart))
 
-	attrs := u.Attrs
+	dst = append(dst, 0, 0) // total path attribute length, patched below
+	aStart := len(dst)
+	for _, a := range u.Attrs {
+		dst, err = appendAttr(dst, a, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if !opt.AS4 {
+		// 2-octet session with 4-octet ASNs in the path: append AS4_PATH
+		// automatically (last, as routers do) unless one is present.
 		if ap, ok := u.Attr(AttrTypeASPath).(ASPath); ok && pathNeedsAS4(ap.Path) {
 			if u.Attr(AttrTypeAS4Path) == nil {
-				attrs = append(append([]Attr(nil), attrs...), AS4Path{Path: ap.Path})
+				dst, err = appendAttr(dst, AS4Path{Path: ap.Path}, opt)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
-	var attrBytes []byte
-	for _, a := range attrs {
-		attrBytes, err = appendAttr(attrBytes, a, opt)
-		if err != nil {
-			return nil, err
-		}
-	}
+	binary.BigEndian.PutUint16(dst[aStart-2:], uint16(len(dst)-aStart))
 
-	var nlri []byte
 	for _, n := range u.Announced {
 		if !n.Prefix.Addr().Is4() {
 			return nil, fmt.Errorf("%w: IPv6 prefix in top-level NLRI", ErrBadNLRI)
 		}
-		nlri, err = appendNLRI(nlri, n, opt.AddPath)
+		dst, err = appendNLRI(dst, n, opt.AddPath)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	total := HeaderLen + 2 + len(withdrawn) + 2 + len(attrBytes) + len(nlri)
+	total := len(dst) - start
 	if total > MaxMsgLen {
 		return nil, fmt.Errorf("%w: message size %d exceeds %d", ErrBadLength, total, MaxMsgLen)
 	}
-	msg := make([]byte, HeaderLen, total)
-	putHeader(msg, MsgUpdate, total)
-	msg = binary.BigEndian.AppendUint16(msg, uint16(len(withdrawn)))
-	msg = append(msg, withdrawn...)
-	msg = binary.BigEndian.AppendUint16(msg, uint16(len(attrBytes)))
-	msg = append(msg, attrBytes...)
-	msg = append(msg, nlri...)
-	return msg, nil
+	putHeader(dst[start:], MsgUpdate, total)
+	return dst, nil
 }
 
 // ParseUpdate decodes a full BGP message (header included) that must be
 // an UPDATE.
 func ParseUpdate(b []byte, opt Options) (*Update, error) {
-	h, err := ParseHeader(b)
-	if err != nil {
+	u := &Update{}
+	if err := ParseUpdateInto(u, b, opt); err != nil {
 		return nil, err
 	}
-	if h.Type != MsgUpdate {
-		return nil, fmt.Errorf("%w: got type %d, want UPDATE", ErrBadType, h.Type)
-	}
-	if int(h.Len) > len(b) {
-		return nil, fmt.Errorf("%w: header claims %d bytes, have %d", ErrTruncated, h.Len, len(b))
-	}
-	return parseUpdateBody(b[HeaderLen:h.Len], opt)
+	return u, nil
 }
 
-// parseUpdateBody decodes the UPDATE payload (header stripped). MRT
-// BGP4MP records carry full messages; TABLE_DUMP_V2 RIB entries carry
-// bare attribute blocks, which use parseAttrs directly.
-func parseUpdateBody(b []byte, opt Options) (*Update, error) {
+// ParseUpdateInto decodes a full BGP UPDATE message into u, reusing the
+// capacity of u's slices — a caller looping over messages can decode
+// with near-zero per-message allocations (combine with Options.Cache to
+// also dedupe attribute payloads). On error u is left in an undefined
+// state.
+func ParseUpdateInto(u *Update, b []byte, opt Options) error {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return err
+	}
+	if h.Type != MsgUpdate {
+		return fmt.Errorf("%w: got type %d, want UPDATE", ErrBadType, h.Type)
+	}
+	if int(h.Len) > len(b) {
+		return fmt.Errorf("%w: header claims %d bytes, have %d", ErrTruncated, h.Len, len(b))
+	}
+	return parseUpdateBody(u, b[HeaderLen:h.Len], opt)
+}
+
+// parseUpdateBody decodes the UPDATE payload (header stripped) into u.
+// MRT BGP4MP records carry full messages; TABLE_DUMP_V2 RIB entries
+// carry bare attribute blocks, which use parseAttrs directly.
+func parseUpdateBody(u *Update, b []byte, opt Options) error {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.Attrs = u.Attrs[:0]
+	u.Announced = u.Announced[:0]
 	if len(b) < 2 {
-		return nil, fmt.Errorf("%w: withdrawn length", ErrTruncated)
+		return fmt.Errorf("%w: withdrawn length", ErrTruncated)
 	}
 	wlen := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < wlen {
-		return nil, fmt.Errorf("%w: withdrawn routes", ErrTruncated)
+		return fmt.Errorf("%w: withdrawn routes", ErrTruncated)
 	}
-	u := &Update{}
 	var err error
 	if wlen > 0 {
-		u.Withdrawn, err = parseNLRI(b[:wlen], false, opt.AddPath)
+		u.Withdrawn, err = appendParsedNLRI(u.Withdrawn, b[:wlen], false, opt.AddPath)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	b = b[wlen:]
 	if len(b) < 2 {
-		return nil, fmt.Errorf("%w: attribute length", ErrTruncated)
+		return fmt.Errorf("%w: attribute length", ErrTruncated)
 	}
 	alen := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < alen {
-		return nil, fmt.Errorf("%w: path attributes", ErrTruncated)
+		return fmt.Errorf("%w: path attributes", ErrTruncated)
 	}
 	if alen > 0 {
-		u.Attrs, err = parseAttrs(b[:alen], opt)
+		u.Attrs, err = parseAttrs(u.Attrs, b[:alen], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	b = b[alen:]
 	if len(b) > 0 {
-		u.Announced, err = parseNLRI(b, false, opt.AddPath)
+		u.Announced, err = appendParsedNLRI(u.Announced, b, false, opt.AddPath)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return u, nil
+	return nil
 }
 
 // ParseAttributes decodes a bare path-attribute block (as stored in MRT
 // TABLE_DUMP_V2 RIB entries).
 func ParseAttributes(b []byte, opt Options) ([]Attr, error) {
-	return parseAttrs(b, opt)
+	return parseAttrs(nil, b, opt)
+}
+
+// AppendAttributes decodes a bare path-attribute block, appending to dst
+// — a caller looping over RIB entries can reuse one scratch slice.
+func AppendAttributes(dst []Attr, b []byte, opt Options) ([]Attr, error) {
+	return parseAttrs(dst, b, opt)
 }
 
 // MarshalAttributes encodes a bare path-attribute block.

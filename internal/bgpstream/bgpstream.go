@@ -182,9 +182,19 @@ type Stream struct {
 	reader    *mrt.Reader
 	peers     []mrt.Peer // current source's PEER_INDEX_TABLE
 	pending   []Elem
+	pendHead  int // first unread element of pending
 	msgIndex  int
 	warnings  []Warning
 	elemCount []int // per-source emitted elements (pre-filter)
+
+	// Decode scratch, reused across records: parsed attribute payloads
+	// are deduped through attrCache (archives repeat a small set of
+	// distinct paths/next-hops/communities), and msg/upd/ribAttrs absorb
+	// the per-record parse allocations.
+	attrCache *bgp.AttrCache
+	msg       mrt.Message
+	upd       bgp.Update
+	ribAttrs  []bgp.Attr
 
 	// Telemetry (nil metrics = disabled; hot counters are cached so
 	// the enabled path skips per-record key building).
@@ -199,7 +209,11 @@ type Stream struct {
 // NewStream builds a stream over the sources, applying the filter (nil
 // passes all).
 func NewStream(filter *Filter, sources ...Source) *Stream {
-	return &Stream{sources: sources, filter: filter, elemCount: make([]int, len(sources)), sourceForCtr: -1}
+	return &Stream{
+		sources: sources, filter: filter,
+		elemCount: make([]int, len(sources)), sourceForCtr: -1,
+		attrCache: bgp.NewAttrCache(),
+	}
 }
 
 // SetMetrics attaches a telemetry registry. The stream increments:
@@ -254,20 +268,28 @@ func (s *Stream) emit(e Elem) {
 // Next returns the next element, or io.EOF when all sources drain.
 func (s *Stream) Next() (Elem, error) {
 	for {
-		if len(s.pending) > 0 {
-			e := s.pending[0]
-			s.pending = s.pending[1:]
+		if s.pendHead < len(s.pending) {
+			e := s.pending[s.pendHead]
+			s.pendHead++
 			if s.filter.Match(&e) {
 				return e, nil
 			}
 			s.filteredC.Inc()
 			continue
 		}
+		// Queue drained: rewind it so the next record's elements reuse
+		// the backing array instead of growing it forever.
+		s.pending = s.pending[:0]
+		s.pendHead = 0
 		if s.reader == nil {
 			if s.cur >= len(s.sources) {
 				return Elem{}, io.EOF
 			}
 			s.reader = mrt.NewReader(s.sources[s.cur].open())
+			// Everything decode retains is either copied out of the
+			// record body or owned by attrCache, so the reader can hand
+			// every record the same body buffer.
+			s.reader.SetReuseBuffer(true)
 			s.peers = nil
 		}
 		rec, err := s.reader.Next()
@@ -349,11 +371,13 @@ func (s *Stream) decode(rec mrt.Record) {
 				peer := s.peers[entry.PeerIndex]
 				// RIB attribute blocks always use 4-octet ASNs (RFC 6396
 				// §4.3.4); ADD-PATH follows the record subtype.
-				attrs, err := bgp.ParseAttributes(entry.Attrs, bgp.Options{AS4: true, AddPath: rib.AddPath})
+				attrs, err := bgp.AppendAttributes(s.ribAttrs[:0], entry.Attrs,
+					bgp.Options{AS4: true, AddPath: rib.AddPath, Cache: s.attrCache})
 				if err != nil {
 					s.warn(peer.ASN, rec.Subtype, WarnRIBAttrs, fmt.Sprintf("RIB attributes: %v", err))
 					continue
 				}
+				s.ribAttrs = attrs[:0]
 				e := Elem{
 					Type: ElemRIB, Timestamp: rec.Timestamp, Collector: src.Collector,
 					PeerAddr: peer.Addr, PeerASN: peer.ASN, Prefix: rib.Prefix,
@@ -380,12 +404,11 @@ func (s *Stream) decode(rec mrt.Record) {
 				OldState: sc.OldState, NewState: sc.NewState, MsgIndex: s.msgIndex,
 			})
 		case mrt.SubMessage, mrt.SubMessageAS4, mrt.SubMessageAP, mrt.SubMessageAS4AP:
-			msg, err := mrt.ParseMessage(rec.Subtype, rec.Body)
-			if err != nil {
+			if err := mrt.ParseMessageInto(&s.msg, rec.Subtype, rec.Body); err != nil {
 				s.warn(0, rec.Subtype, WarnBGP4MPMessage, fmt.Sprintf("BGP4MP message: %v", err))
 				return
 			}
-			s.decodeUpdate(rec, msg, src)
+			s.decodeUpdate(rec, &s.msg, src)
 		default:
 			s.warn(0, rec.Subtype, WarnUnknownBGP4MP, fmt.Sprintf("unknown BGP4MP record subtype %d", rec.Subtype))
 		}
@@ -407,15 +430,25 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 	opt := src.Options
 	opt.AS4 = msg.AS4
 	opt.AddPath = msg.AddPath
-	u, err := bgp.ParseUpdate(msg.Data, opt)
-	if err != nil {
+	opt.Cache = s.attrCache
+	u := &s.upd
+	if err := bgp.ParseUpdateInto(u, msg.Data, opt); err != nil {
 		s.warn(msg.PeerAS, rec.Subtype, WarnUpdateParse, fmt.Sprintf("UPDATE parse: %v", err))
 		return
+	}
+	// MP_REACH/MP_UNREACH NLRI are folded in without the copying
+	// Reachable/Unreachable helpers.
+	var mpAnn, mpWdr []bgp.NLRI
+	if m, ok := u.Attr(bgp.AttrTypeMPReach).(bgp.MPReach); ok && m.SAFI == bgp.SAFIUnicast {
+		mpAnn = m.NLRI
+	}
+	if m, ok := u.Attr(bgp.AttrTypeMPUnreach).(bgp.MPUnreach); ok && m.SAFI == bgp.SAFIUnicast {
+		mpWdr = m.NLRI
 	}
 	// ADD-PATH mismatch signature: reading ADD-PATH NLRI as plain NLRI
 	// turns the 4-byte path identifiers into phantom default routes.
 	// Two or more /0 entries in one message is never legitimate.
-	if zeroRuns(u) >= 2 {
+	if zeroLen(u.Announced)+zeroLen(mpAnn)+zeroLen(u.Withdrawn)+zeroLen(mpWdr) >= 2 {
 		s.warn(msg.PeerAS, rec.Subtype, WarnAddPathSuspect, "suspicious NLRI: repeated zero-length prefixes (possible ADD-PATH mismatch)")
 	}
 	s.msgIndex++
@@ -431,34 +464,29 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 	if c, ok := u.Attr(bgp.AttrTypeCommunities).(bgp.Communities); ok {
 		comms = c
 	}
-	for _, n := range u.Unreachable() {
-		e := base
-		e.Type = ElemWithdraw
-		e.Prefix = n.Prefix
-		e.PathID = n.PathID
-		s.emit(e)
-	}
-	for _, n := range u.Reachable() {
-		e := base
-		e.Type = ElemAnnounce
-		e.Prefix = n.Prefix
-		e.PathID = n.PathID
-		e.Path = path
-		e.Communities = comms
-		s.emit(e)
-	}
-}
-
-// zeroRuns counts zero-length (default-route) NLRI entries across the
-// update's announced and withdrawn sets.
-func zeroRuns(u *bgp.Update) int {
-	n := 0
-	for _, x := range u.Reachable() {
-		if x.Prefix.Bits() == 0 {
-			n++
+	emitAll := func(t ElemType, nlri []bgp.NLRI) {
+		for _, n := range nlri {
+			e := base
+			e.Type = t
+			e.Prefix = n.Prefix
+			e.PathID = n.PathID
+			if t == ElemAnnounce {
+				e.Path = path
+				e.Communities = comms
+			}
+			s.emit(e)
 		}
 	}
-	for _, x := range u.Unreachable() {
+	emitAll(ElemWithdraw, u.Withdrawn)
+	emitAll(ElemWithdraw, mpWdr)
+	emitAll(ElemAnnounce, u.Announced)
+	emitAll(ElemAnnounce, mpAnn)
+}
+
+// zeroLen counts zero-length (default-route) NLRI entries.
+func zeroLen(nlri []bgp.NLRI) int {
+	n := 0
+	for _, x := range nlri {
 		if x.Prefix.Bits() == 0 {
 			n++
 		}

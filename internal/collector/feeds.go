@@ -40,17 +40,41 @@ func BuildFeeds(g *topology.Graph, in *Infra, ov *routing.Overlay, ts uint32) []
 	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
 	sort.Slice(stuckVPs, func(i, j int) bool { return stuckVPs[i] < stuckVPs[j] })
 
-	routes := map[netip.Prefix]map[uint32]routeEntry{}
+	// Per-prefix routes are a dense slice with one slot per VP (carved
+	// from a chunked arena), not an inner map: the map-per-prefix
+	// version dominated this function's allocation profile.
+	nVPs := len(vps) + len(stuckVPs)
+	vpIdx := make(map[uint32]int, nVPs)
+	for i, vp := range vps {
+		vpIdx[vp] = i
+	}
+	for i, vp := range stuckVPs {
+		vpIdx[vp] = len(vps) + i
+	}
+	type feedCell struct {
+		e  routeEntry
+		ok bool
+	}
+	routes := map[netip.Prefix][]feedCell{}
+	var cellArena []feedCell
 	merge := func(pfx netip.Prefix, vp uint32, r routing.VPRoute) {
-		m := routes[pfx]
-		if m == nil {
-			m = map[uint32]routeEntry{}
-			routes[pfx] = m
+		cells := routes[pfx]
+		if cells == nil {
+			if len(cellArena) < nVPs {
+				sz := 4096
+				if nVPs > sz {
+					sz = nVPs
+				}
+				cellArena = make([]feedCell, sz)
+			}
+			cells = cellArena[:nVPs:nVPs]
+			cellArena = cellArena[nVPs:]
+			routes[pfx] = cells
 		}
-		cur, ok := m[vp]
+		c := &cells[vpIdx[vp]]
 		cand := routeEntry{class: r.Class, cost: r.Cost, path: r.Path}
-		if !ok || better(cand, cur) {
-			m[vp] = cand
+		if !c.ok || better(cand, c.e) {
+			c.e, c.ok = cand, true
 		}
 	}
 	moves := routing.BuildMoveSet(ov)
@@ -98,11 +122,12 @@ func BuildFeeds(g *topology.Graph, in *Infra, ov *routing.Overlay, ts uint32) []
 				Time:   ts,
 				Routes: map[netip.Prefix]aspath.Seq{},
 			}
+			idx, tracked := vpIdx[p.ASN]
 			for pfx, perVP := range routes {
-				r, ok := perVP[p.ASN]
-				if !ok {
+				if !tracked || !perVP[idx].ok {
 					continue
 				}
+				r := perVP[idx].e
 				if !p.FullFeed && unitc(in.Seed, 0xfeed, uint64(p.ASN), prefixLabel(pfx)) >= p.PartialShare {
 					continue
 				}

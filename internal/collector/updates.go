@@ -417,8 +417,11 @@ func serialize(in *Infra, cfg UpdateConfig, msgs []message) map[string][]byte {
 		writers[c.Name] = mrt.NewWriter(b)
 	}
 
+	enc := newMsgEncoder()
 	for _, m := range msgs {
-		rec, ok := encodeMessage(in, cfg, m)
+		// rec.Body aliases the encoder's scratch buffer; WriteRecord
+		// copies it into the bufio layer before the next iteration.
+		rec, ok := enc.encode(in, cfg, m)
 		if !ok {
 			continue
 		}
@@ -461,20 +464,52 @@ func packMessages(msgs []message) []message {
 	return out
 }
 
-// encodeMessage builds the MRT record for one message.
-func encodeMessage(in *Infra, cfg UpdateConfig, m message) (mrt.Record, bool) {
-	ts := cfg.BaseTime + uint32((m.t-cfg.FromT)*86400)
-	var upd *bgp.Update
-	var err error
-	if m.withdraw {
-		upd, err = bgp.NewWithdrawal(m.prefixes)
-	} else {
-		upd, err = bgp.NewAnnouncement(m.path, m.peer.Addr, m.prefixes)
+// msgEncoder holds the encode scratch reused across messages: one
+// Update, its NLRI slice, a preboxed AS_PATH attribute whose segment is
+// repointed per message, interned NEXT_HOP attributes, and the two
+// output buffers. Steady-state encoding of an IPv4 message is
+// allocation-free.
+type msgEncoder struct {
+	upd       bgp.Update
+	nlri      []bgp.NLRI
+	segs      [1]aspath.Segment
+	pathAttr  bgp.Attr // boxed ASPath sharing segs[0]
+	emptyPath bgp.Attr // boxed ASPath with no segments
+	nextHops  map[netip.Addr]bgp.Attr
+	msg       mrt.Message
+	msgBuf    []byte
+	bodyBuf   []byte
+}
+
+func newMsgEncoder() *msgEncoder {
+	e := &msgEncoder{nextHops: map[netip.Addr]bgp.Attr{}}
+	e.segs[0] = aspath.Segment{Type: aspath.SegSequence}
+	// The boxed copy's Path.Segments still points at e.segs, so
+	// repointing e.segs[0].ASNs retargets the attribute without
+	// re-boxing.
+	e.pathAttr = bgp.ASPath{Path: aspath.Path{Segments: e.segs[:1]}}
+	e.emptyPath = bgp.ASPath{}
+	return e
+}
+
+// nextHopAttr returns the interned boxed NEXT_HOP for addr.
+func (e *msgEncoder) nextHopAttr(addr netip.Addr) bgp.Attr {
+	if a, ok := e.nextHops[addr]; ok {
+		return a
 	}
-	if err != nil {
+	a := bgp.NextHop(addr)
+	e.nextHops[addr] = a
+	return a
+}
+
+// encode builds the MRT record for one message. The returned record's
+// Body aliases the encoder's scratch and is only valid until the next
+// encode call.
+func (e *msgEncoder) encode(in *Infra, cfg UpdateConfig, m message) (mrt.Record, bool) {
+	if len(m.prefixes) == 0 {
 		return mrt.Record{}, false
 	}
-
+	ts := cfg.BaseTime + uint32((m.t-cfg.FromT)*86400)
 	opts := bgp.Options{AS4: true}
 	subtype := mrt.SubMessageAS4
 	if m.peer.Artifact == ArtifactAddPath {
@@ -487,18 +522,63 @@ func encodeMessage(in *Infra, cfg UpdateConfig, m message) (mrt.Record, bool) {
 			subtype = 77
 		}
 	}
-	data, err := upd.Marshal(opts)
+
+	v4 := true
+	for _, p := range m.prefixes {
+		if p.Addr().Is6() && !p.Addr().Is4In6() {
+			v4 = false
+			break
+		}
+	}
+	var err error
+	if v4 {
+		// Fast path: build the UPDATE in the reused scratch. Matches
+		// NewAnnouncement/NewWithdrawal byte-for-byte for IPv4.
+		e.nlri = e.nlri[:0]
+		for _, p := range m.prefixes {
+			e.nlri = append(e.nlri, bgp.NLRI{Prefix: p})
+		}
+		u := &e.upd
+		u.Withdrawn = u.Withdrawn[:0]
+		u.Attrs = u.Attrs[:0]
+		u.Announced = u.Announced[:0]
+		if m.withdraw {
+			u.Withdrawn = e.nlri
+		} else {
+			pa := e.emptyPath
+			if len(m.path) > 0 {
+				e.segs[0].ASNs = m.path
+				pa = e.pathAttr
+			}
+			u.Attrs = append(u.Attrs, bgp.Origin(bgp.OriginIGP), pa, e.nextHopAttr(m.peer.Addr))
+			u.Announced = e.nlri
+		}
+		e.msgBuf, err = u.AppendMessage(e.msgBuf[:0], opts)
+	} else {
+		// IPv6 (or mixed, which errors): the cold path keeps the
+		// validating constructors.
+		var upd *bgp.Update
+		if m.withdraw {
+			upd, err = bgp.NewWithdrawal(m.prefixes)
+		} else {
+			upd, err = bgp.NewAnnouncement(m.path, m.peer.Addr, m.prefixes)
+		}
+		if err != nil {
+			return mrt.Record{}, false
+		}
+		e.msgBuf, err = upd.AppendMessage(e.msgBuf[:0], opts)
+	}
 	if err != nil {
 		return mrt.Record{}, false
 	}
-	msg := &mrt.Message{
+	e.msg = mrt.Message{
 		PeerAS: m.peer.ASN, LocalAS: 12654,
 		PeerAddr: m.peer.Addr, LocalAddr: netip.AddrFrom4([4]byte{192, 0, 2, 1}),
-		Data: data, AS4: true,
+		Data: e.msgBuf, AS4: true,
 	}
-	body, err := msg.Marshal()
+	e.bodyBuf, err = e.msg.AppendMarshal(e.bodyBuf[:0])
 	if err != nil {
 		return mrt.Record{}, false
 	}
-	return mrt.Record{Timestamp: ts, Type: mrt.TypeBGP4MP, Subtype: subtype, Body: body}, true
+	return mrt.Record{Timestamp: ts, Type: mrt.TypeBGP4MP, Subtype: subtype, Body: e.bodyBuf}, true
 }

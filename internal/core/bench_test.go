@@ -158,3 +158,22 @@ func BenchmarkComputeAtomsTraced(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkComputeAtomsSharded forces the sharded grouping at fixed
+// shard counts, bypassing shardParts' hardware gate — the number that
+// matters on multi-core hosts, where the dispatcher actually picks this
+// path. On a single-CPU host it quantifies the merge overhead the
+// GOMAXPROCS gate avoids.
+func BenchmarkComputeAtomsSharded(b *testing.B) {
+	s := benchSnapshot(20000, 50)
+	for _, parts := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if as := computeAtomsSharded(s, parts, parts); len(as.Atoms) == 0 {
+					b.Fatal("no atoms")
+				}
+			}
+		})
+	}
+}

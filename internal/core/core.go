@@ -8,10 +8,12 @@
 package core
 
 import (
-	"fmt"
 	"hash/maphash"
 	"net/netip"
+	"runtime"
 	"sort"
+	"strconv"
+	"sync"
 
 	"repro/internal/aspath"
 	"repro/internal/obs"
@@ -25,51 +27,84 @@ type VP struct {
 }
 
 // String renders "rrc00/AS3356".
-func (v VP) String() string { return fmt.Sprintf("%s/AS%d", v.Collector, v.ASN) }
+func (v VP) String() string {
+	return v.Collector + "/AS" + strconv.FormatUint(uint64(v.ASN), 10)
+}
 
 // Snapshot is a sanitized routing snapshot: for every prefix, the AS
 // path observed at every vantage point (aspath.Empty where the prefix
 // was missing — the paper's "empty path" convention).
+//
+// The route matrix is stored flat: one contiguous prefix-major backing
+// array instead of a slice-of-slices, so building a snapshot costs one
+// allocation regardless of prefix count and row hashing walks memory
+// sequentially. Access goes through Row/RouteID/SetRouteID.
 type Snapshot struct {
 	Time     uint32
 	VPs      []VP
 	Prefixes []netip.Prefix
 	Paths    *aspath.Table
-	// Routes[p][v] is the interned path of prefix p at VP v.
-	Routes [][]aspath.ID
+	// routes is the flat (prefix × VP) matrix: the path of prefix p at
+	// VP v lives at routes[p*stride+v], with stride == len(VPs).
+	routes []aspath.ID
+	stride int
 }
 
-// NewSnapshot allocates an empty snapshot with the given shape. Routes
-// rows are zeroed (all paths empty).
+// NewSnapshot allocates an empty snapshot with the given shape and a
+// fresh interning table. All routes start empty.
 func NewSnapshot(time uint32, vps []VP, prefixes []netip.Prefix) *Snapshot {
-	s := &Snapshot{
+	return NewSnapshotWith(time, vps, prefixes, aspath.NewTable())
+}
+
+// NewSnapshotWith is NewSnapshot sharing an existing interning table —
+// the sanitization pipeline's path, which interns feeds long before the
+// admitted prefix set (and hence the matrix shape) is known. The whole
+// matrix is one backing allocation.
+func NewSnapshotWith(time uint32, vps []VP, prefixes []netip.Prefix, paths *aspath.Table) *Snapshot {
+	return &Snapshot{
 		Time:     time,
 		VPs:      vps,
 		Prefixes: prefixes,
-		Paths:    aspath.NewTable(),
-		Routes:   make([][]aspath.ID, len(prefixes)),
+		Paths:    paths,
+		routes:   make([]aspath.ID, len(prefixes)*len(vps)),
+		stride:   len(vps),
 	}
-	for i := range s.Routes {
-		s.Routes[i] = make([]aspath.ID, len(vps))
-	}
-	return s
+}
+
+// Row returns prefix p's per-VP path vector — a view into the flat
+// backing array (capacity-clipped so appends never bleed into the next
+// row). Mutations write through to the snapshot.
+func (s *Snapshot) Row(p int) []aspath.ID {
+	lo := p * s.stride
+	return s.routes[lo : lo+s.stride : lo+s.stride]
+}
+
+// RouteID returns the interned path ID at (prefix index, vp index).
+func (s *Snapshot) RouteID(p, v int) aspath.ID {
+	return s.routes[p*s.stride+v]
+}
+
+// SetRouteID stores an already-interned path ID at (prefix index, vp
+// index).
+func (s *Snapshot) SetRouteID(p, v int, id aspath.ID) {
+	s.routes[p*s.stride+v] = id
 }
 
 // SetRoute interns the path for (prefix index, vp index).
 func (s *Snapshot) SetRoute(p, v int, seq aspath.Seq) {
-	s.Routes[p][v] = s.Paths.Intern(seq)
+	s.SetRouteID(p, v, s.Paths.Intern(seq))
 }
 
 // Route returns the path sequence at (prefix index, vp index); nil if
 // missing.
 func (s *Snapshot) Route(p, v int) aspath.Seq {
-	return s.Paths.Seq(s.Routes[p][v])
+	return s.Paths.Seq(s.RouteID(p, v))
 }
 
 // VisibleVPs counts VPs at which prefix p has a non-empty path.
 func (s *Snapshot) VisibleVPs(p int) int {
 	n := 0
-	for _, id := range s.Routes[p] {
+	for _, id := range s.Row(p) {
 		if id != aspath.Empty {
 			n++
 		}
@@ -116,7 +151,9 @@ func ComputeAtoms(s *Snapshot) *AtomSet { return computeAtomsSeq(s) }
 // merged deterministically in shard order. The result — atom IDs,
 // member lists, ByPrefix, origins — is identical to the sequential
 // computation at any worker count (workers <= 1 runs the sequential
-// path; 0 means one worker per CPU).
+// path; 0 means one worker per CPU). shardParts calibrates the actual
+// shard count to the snapshot size and the schedulable CPUs, so asking
+// for more workers than the hardware can run never costs anything.
 func ComputeAtomsWorkers(s *Snapshot, workers int) *AtomSet {
 	return ComputeAtomsSpanWorkers(s, nil, workers)
 }
@@ -150,9 +187,31 @@ func ComputeAtomsSpanWorkers(s *Snapshot, parent *obs.Span, workers int) *AtomSe
 // merge bookkeeping costs more than the parallelism buys.
 const shardMinPrefixes = 2048
 
+// shardMinRows is the floor on rows per shard: splitting finer than
+// this makes the per-shard group tables (and the merge that re-unifies
+// them) cost more than the parallel hashing saves.
+const shardMinRows = shardMinPrefixes / 2
+
+// shardParts calibrates the shard count for n prefix rows: never more
+// shards than requested workers, than schedulable CPUs (on a one-core
+// host the shards would time-slice a single CPU and only add merge
+// overhead, so the sequential path is strictly better), and never so
+// fine that a shard falls below shardMinRows. A result ≤ 1 means
+// "don't shard".
+func shardParts(n, workers int) int {
+	parts := workers
+	if g := runtime.GOMAXPROCS(0); parts > g {
+		parts = g
+	}
+	if m := n / shardMinRows; parts > m {
+		parts = m
+	}
+	return parts
+}
+
 func computeAtoms(s *Snapshot, workers int) *AtomSet {
-	if workers > 1 && len(s.Prefixes) >= shardMinPrefixes {
-		return computeAtomsSharded(s, workers)
+	if parts := shardParts(len(s.Prefixes), workers); parts > 1 {
+		return computeAtomsSharded(s, workers, parts)
 	}
 	return computeAtomsSeq(s)
 }
@@ -177,139 +236,186 @@ func rowsEqual(a, b []aspath.ID) bool {
 	return true
 }
 
-func computeAtomsSeq(s *Snapshot) *AtomSet {
-	type bucket struct {
-		rows []int // representative prefix rows, one per distinct vector
-		atom []int // parallel: atom index
-	}
-	as := &AtomSet{Snap: s, ByPrefix: make([]int, len(s.Prefixes))}
-	buckets := make(map[uint64]*bucket, len(s.Prefixes))
+// groupNode is one distinct vector in a groupScratch index: its first
+// (representative) prefix row, the atom it was assigned, and the next
+// node sharing the same row hash (hash collisions chain; equality is
+// always verified with rowsEqual, so results never depend on hash
+// quality).
+type groupNode struct {
+	rep  int32
+	atom int32
+	next int32 // index of the next node in the chain, -1 terminates
+}
 
-	buf := make([]byte, 0, 4*len(s.VPs))
-	for p := range s.Prefixes {
-		row := s.Routes[p]
-		buf = rowBytes(buf, row)
-		hv := maphash.Bytes(atomSeed, buf)
-		bk := buckets[hv]
-		if bk == nil {
-			bk = &bucket{}
-			buckets[hv] = bk
-		}
-		found := -1
-		for i, rep := range bk.rows {
-			if rowsEqual(s.Routes[rep], row) {
-				found = bk.atom[i]
-				break
+// groupScratch is the reusable grouping state: the hash → node-chain
+// index, the row-encoding buffer, and the sharded path's per-shard
+// entry slices. Instances recycle through groupPool so the steady
+// state of a longitudinal run (hundreds of snapshots) re-uses warm
+// maps and slices instead of re-growing them per snapshot.
+type groupScratch struct {
+	m      map[uint64]int32 // row hash → head node index
+	nodes  []groupNode
+	buf    []byte  // rowBytes encoding buffer
+	reps   []int32 // representative row per atom/entry, first-seen order
+	hashes []uint64
+	local  []int32 // sharded: per-row local entry index
+	atoms  []int32 // sharded merge: local entry → global atom
+}
+
+var groupPool = sync.Pool{
+	New: func() any { return &groupScratch{m: make(map[uint64]int32, 1024)} },
+}
+
+func getGroupScratch() *groupScratch {
+	g := groupPool.Get().(*groupScratch)
+	clear(g.m)
+	g.nodes = g.nodes[:0]
+	g.reps = g.reps[:0]
+	g.hashes = g.hashes[:0]
+	return g
+}
+
+// findOrAdd returns the index (atom or shard-local entry) of row, whose
+// hash is hv, adding a new node bound to next when the vector is new.
+func (g *groupScratch) findOrAdd(s *Snapshot, hv uint64, row []aspath.ID, rep, next int32) (idx int32, added bool) {
+	head, ok := g.m[hv]
+	if ok {
+		for ni := head; ni >= 0; ni = g.nodes[ni].next {
+			n := &g.nodes[ni]
+			if rowsEqual(s.Row(int(n.rep)), row) {
+				return n.atom, false
 			}
 		}
-		if found < 0 {
-			found = len(as.Atoms)
-			as.Atoms = append(as.Atoms, Atom{ID: found, Vector: row})
-			bk.rows = append(bk.rows, p)
-			bk.atom = append(bk.atom, found)
-		}
-		as.Atoms[found].Prefixes = append(as.Atoms[found].Prefixes, p)
-		as.ByPrefix[p] = found
+	} else {
+		head = -1
 	}
+	g.nodes = append(g.nodes, groupNode{rep: rep, atom: next, next: head})
+	g.m[hv] = int32(len(g.nodes) - 1)
+	return next, true
+}
 
+// finalizeAtoms builds the Atoms slice once ByPrefix is fully assigned:
+// reps lists each atom's representative row in ID order, so vectors are
+// views into the flat matrix, and member lists are carved out of one
+// shared backing array by counting sort on atom ID (which preserves the
+// ascending prefix order the sequential pass produced). Only the
+// returned structures allocate; everything else lives in pooled
+// scratch.
+func finalizeAtoms(as *AtomSet, reps []int32, workers int) {
+	s := as.Snap
+	nAtoms := len(reps)
+	as.Atoms = make([]Atom, nAtoms)
+	starts := make([]int32, nAtoms+1)
+	for _, a := range as.ByPrefix {
+		starts[a+1]++
+	}
+	for i := 1; i <= nAtoms; i++ {
+		starts[i] += starts[i-1]
+	}
+	backing := make([]int, len(as.ByPrefix))
+	fill := append([]int32(nil), starts[:nAtoms]...)
+	for p, a := range as.ByPrefix {
+		backing[fill[a]] = p
+		fill[a]++
+	}
 	for i := range as.Atoms {
-		as.Atoms[i].Origin, as.Atoms[i].MOASConflict = vectorOrigin(s.Paths, as.Atoms[i].Vector)
-	}
-	return as
-}
-
-// shardEntry is one distinct vector found within a shard: its first
-// (representative) prefix row and all member prefixes, both ascending
-// because the shard scans a contiguous range in order.
-type shardEntry struct {
-	hash    uint64
-	rep     int32
-	members []int32
-}
-
-// computeAtomsSharded splits the prefix rows into contiguous shards,
-// groups each shard independently (per-shard hashing into per-shard
-// buckets), and merges the shards in order. The merge order makes the
-// result identical to the sequential pass for any shard count: a
-// vector's atom ID is its global first-occurrence rank, and contiguous
-// in-order shards enumerate first occurrences in exactly that order.
-func computeAtomsSharded(s *Snapshot, workers int) *AtomSet {
-	n := len(s.Prefixes)
-	parts := workers
-	if parts > n {
-		parts = n
-	}
-	shards := make([][]shardEntry, parts)
-	parallel.ForEach(workers, parts, func(si int) error {
-		lo, hi := parallel.ChunkBounds(n, parts, si)
-		entries := make([]shardEntry, 0, (hi-lo)/2)
-		local := make(map[uint64][]int32, (hi-lo)/2)
-		buf := make([]byte, 0, 4*len(s.VPs))
-		for p := lo; p < hi; p++ {
-			row := s.Routes[p]
-			buf = rowBytes(buf, row)
-			hv := maphash.Bytes(atomSeed, buf)
-			found := int32(-1)
-			for _, ei := range local[hv] {
-				if rowsEqual(s.Routes[entries[ei].rep], row) {
-					found = ei
-					break
-				}
-			}
-			if found < 0 {
-				found = int32(len(entries))
-				entries = append(entries, shardEntry{hash: hv, rep: int32(p)})
-				local[hv] = append(local[hv], found)
-			}
-			entries[found].members = append(entries[found].members, int32(p))
-		}
-		shards[si] = entries
-		return nil
-	})
-
-	// Deterministic merge: shards in index order, entries in first-seen
-	// order within each shard.
-	as := &AtomSet{Snap: s, ByPrefix: make([]int, n)}
-	type bucket struct {
-		rows []int32
-		atom []int32
-	}
-	buckets := make(map[uint64]*bucket, n)
-	for _, entries := range shards {
-		for ei := range entries {
-			e := &entries[ei]
-			bk := buckets[e.hash]
-			if bk == nil {
-				bk = &bucket{}
-				buckets[e.hash] = bk
-			}
-			found := -1
-			for i, rep := range bk.rows {
-				if rowsEqual(s.Routes[rep], s.Routes[e.rep]) {
-					found = int(bk.atom[i])
-					break
-				}
-			}
-			if found < 0 {
-				found = len(as.Atoms)
-				as.Atoms = append(as.Atoms, Atom{ID: found, Vector: s.Routes[e.rep]})
-				bk.rows = append(bk.rows, e.rep)
-				bk.atom = append(bk.atom, int32(found))
-			}
-			a := &as.Atoms[found]
-			for _, p := range e.members {
-				a.Prefixes = append(a.Prefixes, int(p))
-				as.ByPrefix[p] = found
-			}
+		lo, hi := starts[i], starts[i+1]
+		as.Atoms[i] = Atom{
+			ID:       i,
+			Prefixes: backing[lo:hi:hi],
+			Vector:   s.Row(int(reps[i])),
 		}
 	}
-
-	parallel.Chunks(workers, len(as.Atoms), func(lo, hi int) error {
+	parallel.Chunks(workers, nAtoms, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			as.Atoms[i].Origin, as.Atoms[i].MOASConflict = vectorOrigin(s.Paths, as.Atoms[i].Vector)
 		}
 		return nil
 	})
+}
+
+func computeAtomsSeq(s *Snapshot) *AtomSet {
+	n := len(s.Prefixes)
+	as := &AtomSet{Snap: s, ByPrefix: make([]int, n)}
+	g := getGroupScratch()
+	defer groupPool.Put(g)
+
+	for p := 0; p < n; p++ {
+		row := s.Row(p)
+		g.buf = rowBytes(g.buf, row)
+		hv := maphash.Bytes(atomSeed, g.buf)
+		atom, added := g.findOrAdd(s, hv, row, int32(p), int32(len(g.reps)))
+		if added {
+			g.reps = append(g.reps, int32(p))
+		}
+		as.ByPrefix[p] = int(atom)
+	}
+	finalizeAtoms(as, g.reps, 1)
+	return as
+}
+
+// computeAtomsSharded splits the prefix rows into parts contiguous
+// shards, groups each shard independently (per-shard hashing into a
+// per-shard pooled index), and merges the shards in order. The merge
+// order makes the result identical to the sequential pass for any
+// shard count: a vector's atom ID is its global first-occurrence rank,
+// and contiguous in-order shards enumerate first occurrences in
+// exactly that order. Row hashes computed in the shards are reused by
+// the merge, and shard members are never materialized — the merge
+// rewrites each shard's per-row local entry indices into global atom
+// IDs, and finalizeAtoms carves the member lists.
+func computeAtomsSharded(s *Snapshot, workers, parts int) *AtomSet {
+	n := len(s.Prefixes)
+	if parts > n {
+		parts = n
+	}
+	as := &AtomSet{Snap: s, ByPrefix: make([]int, n)}
+	shards := make([]*groupScratch, parts)
+	parallel.ForEach(workers, parts, func(si int) error {
+		lo, hi := parallel.ChunkBounds(n, parts, si)
+		g := getGroupScratch()
+		if cap(g.local) < hi-lo {
+			g.local = make([]int32, hi-lo)
+		}
+		g.local = g.local[:hi-lo]
+		for p := lo; p < hi; p++ {
+			row := s.Row(p)
+			g.buf = rowBytes(g.buf, row)
+			hv := maphash.Bytes(atomSeed, g.buf)
+			ei, added := g.findOrAdd(s, hv, row, int32(p), int32(len(g.reps)))
+			if added {
+				g.reps = append(g.reps, int32(p))
+				g.hashes = append(g.hashes, hv)
+			}
+			g.local[p-lo] = ei
+		}
+		shards[si] = g
+		return nil
+	})
+
+	// Deterministic merge: shards in index order, entries in first-seen
+	// order within each shard.
+	mg := getGroupScratch()
+	defer groupPool.Put(mg)
+	for si, g := range shards {
+		lo, _ := parallel.ChunkBounds(n, parts, si)
+		if cap(g.atoms) < len(g.reps) {
+			g.atoms = make([]int32, len(g.reps))
+		}
+		g.atoms = g.atoms[:len(g.reps)]
+		for ei, rep := range g.reps {
+			atom, added := mg.findOrAdd(s, g.hashes[ei], s.Row(int(rep)), rep, int32(len(mg.reps)))
+			if added {
+				mg.reps = append(mg.reps, rep)
+			}
+			g.atoms[ei] = atom
+		}
+		for i, ei := range g.local {
+			as.ByPrefix[lo+i] = int(g.atoms[ei])
+		}
+		groupPool.Put(g)
+	}
+	finalizeAtoms(as, mg.reps, workers)
 	return as
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hash/maphash"
 	"math/rand"
 	"net/netip"
 	"reflect"
@@ -241,7 +242,7 @@ func TestComputeAtomsProperty(t *testing.T) {
 				same := as.ByPrefix[a] == as.ByPrefix[b]
 				eq := true
 				for v := 0; v < nVP; v++ {
-					if s.Routes[a][v] != s.Routes[b][v] {
+					if s.RouteID(a, v) != s.RouteID(b, v) {
 						eq = false
 						break
 					}
@@ -346,4 +347,158 @@ func TestVPString(t *testing.T) {
 	if got := (VP{Collector: "rrc00", ASN: 3356}).String(); got != "rrc00/AS3356" {
 		t.Errorf("VP.String = %q", got)
 	}
+}
+
+// TestComputeAtomsShardedForcedDeterminism drives computeAtomsSharded
+// directly at forced shard counts, bypassing shardParts' hardware
+// calibration — on a single-CPU host the public dispatcher (correctly)
+// never shards, and this test keeps the merge logic covered there
+// anyway.
+func TestComputeAtomsShardedForcedDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	paths := []aspath.Seq{nil, {1, 9}, {2, 9}, {1, 2, 9}, {3, 8}, {4, 9}, {2, 3, 8}}
+	for _, nPfx := range []int{50, 1000, shardMinPrefixes + 500} {
+		nVP := 5
+		vps := make([]VP, nVP)
+		for i := range vps {
+			vps[i] = VP{Collector: "c", ASN: uint32(i)}
+		}
+		prefixes := make([]netip.Prefix, nPfx)
+		for i := range prefixes {
+			prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		}
+		s := NewSnapshot(0, vps, prefixes)
+		for p := 0; p < nPfx; p++ {
+			for v := 0; v < nVP; v++ {
+				s.SetRoute(p, v, paths[r.Intn(len(paths))])
+			}
+		}
+		want := computeAtomsSeq(s)
+		for _, parts := range []int{2, 3, 7, 16} {
+			got := computeAtomsSharded(s, parts, parts)
+			if !reflect.DeepEqual(got.ByPrefix, want.ByPrefix) {
+				t.Fatalf("n=%d parts=%d: ByPrefix differs", nPfx, parts)
+			}
+			if !reflect.DeepEqual(got.Atoms, want.Atoms) {
+				t.Fatalf("n=%d parts=%d: atoms differ", nPfx, parts)
+			}
+		}
+	}
+}
+
+// TestFlatMatrixMatchesReference is the flat-layout property test: a
+// sequence of random SetRoute/SetRouteID writes must leave
+// Row/RouteID/VisibleVPs in exact agreement with a naive [][]ID
+// reference model maintained alongside.
+func TestFlatMatrixMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		nVP := 1 + r.Intn(6)
+		nPfx := 1 + r.Intn(40)
+		vps := make([]VP, nVP)
+		for i := range vps {
+			vps[i] = VP{Collector: "c", ASN: uint32(i)}
+		}
+		prefixes := make([]netip.Prefix, nPfx)
+		for i := range prefixes {
+			prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(iter), byte(i), 0}), 24)
+		}
+		s := NewSnapshot(0, vps, prefixes)
+		ref := make([][]aspath.ID, nPfx)
+		for i := range ref {
+			ref[i] = make([]aspath.ID, nVP)
+		}
+		paths := []aspath.Seq{nil, {1, 9}, {2, 9}, {1, 2, 9}}
+		for op := 0; op < 300; op++ {
+			p, v := r.Intn(nPfx), r.Intn(nVP)
+			if r.Intn(2) == 0 {
+				seq := paths[r.Intn(len(paths))]
+				s.SetRoute(p, v, seq)
+				ref[p][v] = s.Paths.Intern(seq)
+			} else {
+				id := aspath.ID(r.Intn(int(3)))
+				s.SetRouteID(p, v, id)
+				ref[p][v] = id
+			}
+		}
+		for p := 0; p < nPfx; p++ {
+			if !reflect.DeepEqual(s.Row(p), ref[p]) {
+				t.Fatalf("iter %d: Row(%d) = %v, want %v", iter, p, s.Row(p), ref[p])
+			}
+			vis := 0
+			for v := 0; v < nVP; v++ {
+				if s.RouteID(p, v) != ref[p][v] {
+					t.Fatalf("iter %d: RouteID(%d,%d) = %d, want %d", iter, p, v, s.RouteID(p, v), ref[p][v])
+				}
+				if ref[p][v] != aspath.Empty {
+					vis++
+				}
+			}
+			if got := s.VisibleVPs(p); got != vis {
+				t.Fatalf("iter %d: VisibleVPs(%d) = %d, want %d", iter, p, got, vis)
+			}
+		}
+		// Row must be a live view: writes through it land in the matrix.
+		row := s.Row(0)
+		if nVP > 0 {
+			row[0] = 2
+			if s.RouteID(0, 0) != 2 {
+				t.Fatal("Row is not a view into the matrix")
+			}
+			// And capacity-clipped: appending must not clobber row 1.
+			if nPfx > 1 {
+				before := s.RouteID(1, 0)
+				_ = append(row, 3)
+				if s.RouteID(1, 0) != before {
+					t.Fatal("append through Row bled into the next row")
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotBuildAllocs pins the flat layout's build cost: the route
+// matrix is one backing allocation, so building a snapshot over a
+// shared interning table costs O(1) allocations no matter how many
+// prefixes it has.
+func TestSnapshotBuildAllocs(t *testing.T) {
+	tbl := aspath.NewTable()
+	vps := make([]VP, 50)
+	for i := range vps {
+		vps[i] = VP{Collector: "c", ASN: uint32(i)}
+	}
+	prefixes := make([]netip.Prefix, 5000)
+	for i := range prefixes {
+		prefixes[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		if s := NewSnapshotWith(0, vps, prefixes, tbl); s.stride != 50 {
+			t.Fatal("bad stride")
+		}
+	})
+	if got > 2 {
+		t.Errorf("NewSnapshotWith allocs/op = %v, want <= 2 (flat matrix)", got)
+	}
+}
+
+// TestRowHashAllocs pins the row-hashing hot loop of atom grouping at
+// zero allocations: encoding a row into a reused buffer and hashing it
+// must not touch the heap.
+func TestRowHashAllocs(t *testing.T) {
+	s := snapFrom(t, 3, [][]string{
+		{"100 200 300", "101 200 300", "102 200 300"},
+		{"100 200 300", "101 201 300", ""},
+	})
+	buf := make([]byte, 0, 4*len(s.VPs))
+	var sink uint64
+	got := testing.AllocsPerRun(1000, func() {
+		for p := range s.Prefixes {
+			buf = rowBytes(buf, s.Row(p))
+			sink ^= maphash.Bytes(atomSeed, buf)
+		}
+	})
+	if got != 0 {
+		t.Errorf("row hashing allocs/op = %v, want 0", got)
+	}
+	_ = sink
 }

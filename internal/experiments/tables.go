@@ -230,7 +230,7 @@ func Table7(cfg longitudinal.Config, w io.Writer) error {
 			for p := range snap.Prefixes {
 				colls := map[string]struct{}{}
 				ases := map[uint32]struct{}{}
-				for v, id := range snap.Routes[p] {
+				for v, id := range snap.Row(p) {
 					if id != 0 {
 						colls[snap.VPs[v].Collector] = struct{}{}
 						ases[snap.VPs[v].ASN] = struct{}{}

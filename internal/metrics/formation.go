@@ -319,8 +319,8 @@ func visMask(vec []aspath.ID) []uint64 {
 func StripPrependingSnapshot(s *core.Snapshot) *core.Snapshot {
 	out := core.NewSnapshot(s.Time, s.VPs, s.Prefixes)
 	for p := range s.Prefixes {
-		for v := range s.VPs {
-			if id := s.Routes[p][v]; id != aspath.Empty {
+		for v, id := range s.Row(p) {
+			if id != aspath.Empty {
 				out.SetRoute(p, v, s.Paths.Seq(id).StripPrepending())
 			}
 		}

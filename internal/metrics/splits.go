@@ -100,7 +100,7 @@ func splitObservers(s2 *core.AtomSet, prefixes []netip.Prefix, idxOf2 map[netip.
 		for _, pfx := range prefixes {
 			var id aspath.ID // Empty for prefixes missing from t2
 			if p, ok := idxOf2[pfx]; ok {
-				id = snap.Routes[p][v]
+				id = snap.RouteID(p, v)
 			}
 			if !firstSet {
 				firstID, firstSet = id, true

@@ -8,7 +8,6 @@ package metrics
 import (
 	"io"
 	"net/netip"
-	"sort"
 
 	"repro/internal/bgpstream"
 	"repro/internal/core"
@@ -54,8 +53,39 @@ func CollectRecordsObs(sources []bgpstream.Source, filter *bgpstream.Filter, reg
 func collectRecords(sources []bgpstream.Source, filter *bgpstream.Filter, reg *obs.Registry) ([]UpdateRecord, []bgpstream.Warning, error) {
 	s := bgpstream.NewStream(filter, sources...)
 	s.SetMetrics(reg)
-	byMsg := map[int]*UpdateRecord{}
-	var order []int
+
+	// Elements of one message arrive contiguously with a strictly
+	// increasing MsgIndex, so grouping is a streaming comparison against
+	// the previous index — no map, no sort. The current record's
+	// prefixes accumulate in scratch (deduplicated linearly; update
+	// records are small) and flush into a chunked arena, so the retained
+	// slices cost one allocation per ~4096 prefixes instead of one per
+	// record.
+	var out []UpdateRecord
+	var arena []netip.Prefix
+	alloc := func(ps []netip.Prefix) []netip.Prefix {
+		if len(ps) == 0 {
+			return nil
+		}
+		if len(arena)+len(ps) > cap(arena) {
+			n := 4096
+			if len(ps) > n {
+				n = len(ps)
+			}
+			arena = make([]netip.Prefix, 0, n)
+		}
+		start := len(arena)
+		arena = append(arena, ps...)
+		return arena[start : start+len(ps) : start+len(ps)]
+	}
+	scratch := make([]netip.Prefix, 0, 256)
+	flush := func() {
+		if len(out) > 0 {
+			out[len(out)-1].Prefixes = alloc(scratch)
+		}
+		scratch = scratch[:0]
+	}
+	curMsg := -1
 	for {
 		e, err := s.Next()
 		if err == io.EOF {
@@ -67,34 +97,27 @@ func collectRecords(sources []bgpstream.Source, filter *bgpstream.Filter, reg *o
 		if e.Type != bgpstream.ElemAnnounce && e.Type != bgpstream.ElemWithdraw {
 			continue
 		}
-		r := byMsg[e.MsgIndex]
-		if r == nil {
-			r = &UpdateRecord{Timestamp: e.Timestamp, Collector: e.Collector, PeerASN: e.PeerASN}
-			byMsg[e.MsgIndex] = r
-			order = append(order, e.MsgIndex)
+		if e.MsgIndex != curMsg {
+			flush()
+			curMsg = e.MsgIndex
+			out = append(out, UpdateRecord{Timestamp: e.Timestamp, Collector: e.Collector, PeerASN: e.PeerASN})
 		}
 		p := prefixset.Canonical(e.Prefix)
-		if p.IsValid() {
-			r.Prefixes = append(r.Prefixes, p)
+		if !p.IsValid() {
+			continue
 		}
-	}
-	sort.Ints(order)
-	out := make([]UpdateRecord, 0, len(order))
-	for _, idx := range order {
-		r := byMsg[idx]
-		// Deduplicate within the record.
-		seen := make(map[netip.Prefix]struct{}, len(r.Prefixes))
-		uniq := r.Prefixes[:0]
-		for _, p := range r.Prefixes {
-			if _, ok := seen[p]; ok {
-				continue
+		dup := false
+		for _, q := range scratch {
+			if q == p {
+				dup = true
+				break
 			}
-			seen[p] = struct{}{}
-			uniq = append(uniq, p)
 		}
-		r.Prefixes = uniq
-		out = append(out, *r)
+		if !dup {
+			scratch = append(scratch, p)
+		}
 	}
+	flush()
 	return out, s.Warnings(), nil
 }
 

@@ -1,0 +1,87 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+func allocTestMessage() Message {
+	return Message{
+		PeerAS: 64500, LocalAS: 12654,
+		PeerAddr:  netip.MustParseAddr("192.0.2.7"),
+		LocalAddr: netip.MustParseAddr("192.0.2.1"),
+		Data:      bytes.Repeat([]byte{0xab}, 48),
+		AS4:       true,
+	}
+}
+
+// The BGP4MP codec hot path: AppendMarshal into a reused buffer and
+// ParseMessageInto into a reused Message must not allocate.
+func TestMessageCodecSteadyStateAllocs(t *testing.T) {
+	src := allocTestMessage()
+	body, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	var m Message
+	n := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = src.AppendMarshal(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseMessageInto(&m, src.Subtype(), body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("BGP4MP codec steady state: %v allocs/op, want 0", n)
+	}
+	if !bytes.Equal(buf, body) {
+		t.Fatal("AppendMarshal output diverged from Marshal")
+	}
+}
+
+// With buffer reuse on, draining an archive allocates a small constant
+// (reader + buffer growth), not one body per record.
+func TestReaderReuseBufferAllocs(t *testing.T) {
+	src := allocTestMessage()
+	body, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var archive bytes.Buffer
+	w := NewWriter(&archive)
+	const records = 200
+	for i := 0; i < records; i++ {
+		if err := w.WriteRecord(Record{Timestamp: uint32(i), Type: TypeBGP4MP, Subtype: src.Subtype(), Body: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := archive.Bytes()
+
+	n := testing.AllocsPerRun(1, func() {
+		r := NewReader(bytes.NewReader(data))
+		r.SetReuseBuffer(true)
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// Reader + bufio buffer + one body buffer, regardless of record
+	// count. Without reuse this is >= one allocation per record.
+	if n > 10 {
+		t.Fatalf("reuse-buffer drain of %d records: %v allocs, want <= 10", records, n)
+	}
+}

@@ -46,11 +46,17 @@ func afiFor(a netip.Addr) uint16 {
 
 // Marshal encodes the BGP4MP message body.
 func (m *Message) Marshal() ([]byte, error) {
+	return m.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the encoded BGP4MP message body to dst — a
+// caller looping over messages can reuse one scratch buffer.
+func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
 	afi := afiFor(m.PeerAddr)
 	if afiFor(m.LocalAddr) != afi {
 		return nil, fmt.Errorf("%w: peer/local address family mismatch", ErrBadRecord)
 	}
-	var out []byte
+	out := dst
 	if m.AS4 {
 		out = binary.BigEndian.AppendUint32(out, m.PeerAS)
 		out = binary.BigEndian.AppendUint32(out, m.LocalAS)
@@ -79,6 +85,20 @@ func (m *Message) Marshal() ([]byte, error) {
 // ASN width and ADD-PATH mode.
 func ParseMessage(subtype uint16, b []byte) (*Message, error) {
 	m := &Message{}
+	if err := ParseMessageInto(m, subtype, b); err != nil {
+		return nil, err
+	}
+	// Preserve the historical contract: the returned message owns its
+	// payload.
+	m.Data = append([]byte(nil), m.Data...)
+	return m, nil
+}
+
+// ParseMessageInto decodes a BGP4MP MESSAGE-family body into m without
+// copying: m.Data aliases b and is only valid until b's backing buffer
+// is reused. Allocation-free hot path for streaming decoders.
+func ParseMessageInto(m *Message, subtype uint16, b []byte) error {
+	*m = Message{}
 	switch subtype {
 	case SubMessage, SubMessageLocal:
 	case SubMessageAS4, SubMessageAS4Local:
@@ -88,7 +108,7 @@ func ParseMessage(subtype uint16, b []byte) (*Message, error) {
 	case SubMessageAS4AP, SubMessageAS4LocAP:
 		m.AS4, m.AddPath = true, true
 	default:
-		return nil, fmt.Errorf("%w: BGP4MP subtype %d", ErrUnsupported, subtype)
+		return fmt.Errorf("%w: BGP4MP subtype %d", ErrUnsupported, subtype)
 	}
 	asnLen := 2
 	if m.AS4 {
@@ -96,7 +116,7 @@ func ParseMessage(subtype uint16, b []byte) (*Message, error) {
 	}
 	need := 2*asnLen + 4
 	if len(b) < need {
-		return nil, fmt.Errorf("%w: BGP4MP header", ErrTruncated)
+		return fmt.Errorf("%w: BGP4MP header", ErrTruncated)
 	}
 	if m.AS4 {
 		m.PeerAS = binary.BigEndian.Uint32(b[:4])
@@ -113,23 +133,23 @@ func ParseMessage(subtype uint16, b []byte) (*Message, error) {
 	switch afi {
 	case 1:
 		if len(b) < 8 {
-			return nil, fmt.Errorf("%w: BGP4MP v4 addresses", ErrTruncated)
+			return fmt.Errorf("%w: BGP4MP v4 addresses", ErrTruncated)
 		}
 		m.PeerAddr = netip.AddrFrom4([4]byte(b[:4]))
 		m.LocalAddr = netip.AddrFrom4([4]byte(b[4:8]))
 		b = b[8:]
 	case 2:
 		if len(b) < 32 {
-			return nil, fmt.Errorf("%w: BGP4MP v6 addresses", ErrTruncated)
+			return fmt.Errorf("%w: BGP4MP v6 addresses", ErrTruncated)
 		}
 		m.PeerAddr = netip.AddrFrom16([16]byte(b[:16]))
 		m.LocalAddr = netip.AddrFrom16([16]byte(b[16:32]))
 		b = b[32:]
 	default:
-		return nil, fmt.Errorf("%w: BGP4MP AFI %d", ErrBadRecord, afi)
+		return fmt.Errorf("%w: BGP4MP AFI %d", ErrBadRecord, afi)
 	}
-	m.Data = append([]byte(nil), b...)
-	return m, nil
+	m.Data = b
+	return nil
 }
 
 // StateChange is a BGP4MP STATE_CHANGE(_AS4) record.

@@ -104,6 +104,9 @@ func (r Record) IsAddPath() bool {
 type Writer struct {
 	w   *bufio.Writer
 	err error
+	// hdr is the header scratch; as a field it avoids the per-record
+	// heap escape a local array suffers when passed through io.Writer.
+	hdr [headerLen + 4]byte
 }
 
 // NewWriter returns a Writer buffering onto w. Call Flush when done.
@@ -117,27 +120,20 @@ func (w *Writer) WriteRecord(r Record) error {
 		return w.err
 	}
 	body := r.Body
-	var hdr [headerLen]byte
+	hdr := w.hdr[:headerLen]
 	binary.BigEndian.PutUint32(hdr[0:4], r.Timestamp)
 	binary.BigEndian.PutUint16(hdr[4:6], r.Type)
 	binary.BigEndian.PutUint16(hdr[6:8], r.Subtype)
 	bodyLen := len(body)
-	et := r.Type == TypeBGP4MPET
-	if et {
+	if r.Type == TypeBGP4MPET {
 		bodyLen += 4
+		hdr = w.hdr[:headerLen+4]
+		binary.BigEndian.PutUint32(hdr[headerLen:], r.Micro)
 	}
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(bodyLen))
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	if _, err := w.w.Write(hdr); err != nil {
 		w.err = err
 		return err
-	}
-	if et {
-		var us [4]byte
-		binary.BigEndian.PutUint32(us[:], r.Micro)
-		if _, err := w.w.Write(us[:]); err != nil {
-			w.err = err
-			return err
-		}
 	}
 	if _, err := w.w.Write(body); err != nil {
 		w.err = err
@@ -157,7 +153,12 @@ func (w *Writer) Flush() error {
 
 // Reader iterates MRT records from an io.Reader.
 type Reader struct {
-	r *bufio.Reader
+	r     *bufio.Reader
+	buf   []byte // reused body buffer when reuse is on
+	reuse bool
+	// hdr is the header scratch; as a field it avoids the per-record
+	// heap escape a local array suffers when passed through io.Reader.
+	hdr [headerLen]byte
 }
 
 // NewReader returns a Reader over r.
@@ -165,11 +166,19 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
+// SetReuseBuffer makes Next decode every record body into one reused
+// buffer: each returned Record.Body is only valid until the following
+// Next call. Streaming consumers that fully process (or copy out of)
+// each record before advancing read the whole archive with near-zero
+// per-record allocations. Off by default — ReadAll and other callers
+// that retain records need per-record bodies.
+func (r *Reader) SetReuseBuffer(on bool) { r.reuse = on }
+
 // Next returns the next record, or io.EOF at a clean end of stream. A
 // stream ending mid-record returns ErrTruncated.
 func (r *Reader) Next() (Record, error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	hdr := r.hdr[:]
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
@@ -184,7 +193,15 @@ func (r *Reader) Next() (Record, error) {
 	if length > maxRecordLength {
 		return Record{}, fmt.Errorf("%w: record length %d", ErrBadRecord, length)
 	}
-	body := make([]byte, length)
+	var body []byte
+	if r.reuse {
+		if uint32(cap(r.buf)) < length {
+			r.buf = make([]byte, length)
+		}
+		body = r.buf[:length]
+	} else {
+		body = make([]byte, length)
+	}
 	if _, err := io.ReadFull(r.r, body); err != nil {
 		return Record{}, fmt.Errorf("%w: body: %v", ErrTruncated, err)
 	}

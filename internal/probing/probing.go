@@ -16,6 +16,7 @@ package probing
 import (
 	"net/netip"
 
+	"repro/internal/aspath"
 	"repro/internal/core"
 	"repro/internal/prefixset"
 )
@@ -79,13 +80,18 @@ func (p *Plan) Accuracy(s *core.Snapshot) Accuracy {
 			continue
 		}
 		ri, repOK := idx[rep]
-		for v := range s.VPs {
+		if !repOK {
+			acc.Observations += len(s.VPs)
+			acc.Mismatches += len(s.VPs)
+			continue
+		}
+		// The interning table guarantees ID equality ⟺ sequence equality
+		// (both-missing is equal: probing either yields the same
+		// non-answer), so one pass over the two flat rows suffices.
+		mRow, rRow := s.Row(mi), s.Row(ri)
+		for v := range mRow {
 			acc.Observations++
-			if !repOK {
-				acc.Mismatches++
-				continue
-			}
-			if pathsEqual(s, mi, ri, v) {
+			if mRow[v] == rRow[v] {
 				acc.Matches++
 			} else {
 				acc.Mismatches++
@@ -93,13 +99,6 @@ func (p *Plan) Accuracy(s *core.Snapshot) Accuracy {
 		}
 	}
 	return acc
-}
-
-// pathsEqual compares two routes within one snapshot; the interning
-// table guarantees ID equality ⟺ sequence equality (both-missing is
-// equal: probing either yields the same non-answer).
-func pathsEqual(s *core.Snapshot, a, b, v int) bool {
-	return s.Routes[a][v] == s.Routes[b][v]
 }
 
 // Accuracy aggregates plan-vs-snapshot agreement.
@@ -138,12 +137,7 @@ func (p *Plan) StalePrefixes(s *core.Snapshot) []netip.Prefix {
 		ri, ok := idx[rep]
 		stale := !ok
 		if !stale {
-			for v := range s.VPs {
-				if s.Routes[mi][v] != s.Routes[ri][v] {
-					stale = true
-					break
-				}
-			}
+			stale = !rowsEqualIDs(s.Row(mi), s.Row(ri))
 		}
 		if stale {
 			out = append(out, member)
@@ -151,4 +145,15 @@ func (p *Plan) StalePrefixes(s *core.Snapshot) []netip.Prefix {
 	}
 	prefixset.SortPrefixes(out)
 	return out
+}
+
+// rowsEqualIDs reports element-wise equality of two same-length route
+// rows.
+func rowsEqualIDs(a, b []aspath.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -92,7 +92,12 @@ func version(rate, t float64, seed uint64, labels ...uint64) int {
 	if rate <= 0 || t <= 0 {
 		return 0
 	}
-	phase := unitf(append([]uint64{seed}, labels...)...)
+	// Stack-backed key: append([]uint64{seed}, ...) would grow through
+	// the heap on every call, and this runs per unit per VP per frame.
+	var key [4]uint64
+	k := append(key[:0], seed)
+	k = append(k, labels...)
+	phase := unitf(k...)
 	v := int(rate*t + phase)
 	if v < 0 {
 		return 0

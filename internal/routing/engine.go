@@ -15,7 +15,6 @@
 package routing
 
 import (
-	"container/heap"
 	"net/netip"
 
 	"repro/internal/aspath"
@@ -93,6 +92,12 @@ type Overlay struct {
 type MoveSet struct {
 	away map[netip.Prefix]bool
 	into map[int][]netip.Prefix
+
+	// cache memoizes UnitPrefixes per unit: callers ask for the same
+	// unit once per VP, and the effective set is fixed for the
+	// MoveSet's lifetime. Not safe for concurrent use (MoveSets are
+	// built per goroutine, like Engines).
+	cache map[int][]netip.Prefix
 }
 
 // BuildMoveSet indexes the overlay's prefix moves (nil-safe).
@@ -118,13 +123,21 @@ func (ms *MoveSet) UnitPrefixes(u *topology.PolicyGroup) []netip.Prefix {
 	if len(ms.away) == 0 && len(moved) == 0 {
 		return u.Prefixes
 	}
+	if out, ok := ms.cache[u.ID]; ok {
+		return out
+	}
 	out := make([]netip.Prefix, 0, len(u.Prefixes)+len(moved))
 	for _, p := range u.Prefixes {
 		if !ms.away[p] {
 			out = append(out, p)
 		}
 	}
-	return append(out, moved...)
+	out = append(out, moved...)
+	if ms.cache == nil {
+		ms.cache = map[int][]netip.Prefix{}
+	}
+	ms.cache[u.ID] = out
+	return out
 }
 
 // VPRoute is the route a vantage point announces to a collector.
@@ -172,6 +185,15 @@ type Engine struct {
 
 	custOrder []int32 // nodes that got customer routes, pop order
 
+	settledStamp []uint32 // Dijkstra settled set, stamp-versioned
+	q            []pqItem // Dijkstra heap, reused across units
+
+	// pathArena backs the per-unit path memos: memos die with the unit
+	// stamp, so the arena rewinds in ComputeUnit and reconstruction
+	// stops allocating once the high-water chunk is in place. Chunk
+	// rollover mid-unit is fine — live memos keep the old chunk alive.
+	pathArena []uint32
+
 	unit   *topology.PolicyGroup
 	origin int32
 }
@@ -206,6 +228,8 @@ func NewEngine(g *topology.Graph, ov *Overlay) *Engine {
 
 		custPathStamp: make([]uint32, n),
 		custPathMemo:  make([][]uint32, n),
+
+		settledStamp: make([]uint32, n),
 	}
 	for i, a := range g.ASes {
 		e.idx[a.ASN] = int32(i)
@@ -283,21 +307,57 @@ type pqItem struct {
 	node int32
 }
 
-type pq []pqItem
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].cost != q[j].cost {
-		return q[i].cost < q[j].cost
+func pqLess(a, b pqItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
 	}
-	if q[i].key != q[j].key {
-		return q[i].key < q[j].key
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return q[i].node < q[j].node
+	return a.node < b.node
 }
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// pushQ/popQ implement the Dijkstra heap directly on the engine's
+// reused slice: container/heap's any-boxed interface allocates on every
+// Push/Pop, which dominated the per-unit allocation profile.
+func (e *Engine) pushQ(it pqItem) {
+	q := append(e.q, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !pqLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	e.q = q
+}
+
+func (e *Engine) popQ() pqItem {
+	q := e.q
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && pqLess(q[l], q[s]) {
+			s = l
+		}
+		if r < n && pqLess(q[r], q[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	e.q = q
+	return top
+}
 
 // ComputeUnit prepares routes for one unit. Subsequent RouteAt calls
 // answer for this unit until the next ComputeUnit.
@@ -305,6 +365,7 @@ func (e *Engine) ComputeUnit(u *topology.PolicyGroup) {
 	e.cur++
 	e.unit = u
 	e.custOrder = e.custOrder[:0]
+	e.pathArena = e.pathArena[:0]
 	oi, ok := e.idx[u.Origin]
 	if !ok {
 		e.origin = -1
@@ -326,7 +387,7 @@ func (e *Engine) ComputeUnit(u *topology.PolicyGroup) {
 	// Seeds: the origin's announcements. Providers receive customer-class
 	// routes (and enter the upward Dijkstra); peers receive peer-class.
 	origin := e.as[oi]
-	var q pq
+	e.q = e.q[:0]
 	for n, pol := range e.announce(u) {
 		ni, ok := e.idx[n]
 		if !ok {
@@ -340,7 +401,7 @@ func (e *Engine) ComputeUnit(u *topology.PolicyGroup) {
 				e.custCost[ni] = cost
 				e.custPar[ni] = oi
 				e.custPrep[ni] = int8(pol.Prepend)
-				heap.Push(&q, pqItem{cost: cost, key: e.tiebreak(ni, origin.ASN), node: ni})
+				e.pushQ(pqItem{cost: cost, key: e.tiebreak(ni, origin.ASN), node: ni})
 			}
 		case isPeerOf(origin, n):
 			if e.peerBetter(ni, cost, oi) {
@@ -353,19 +414,18 @@ func (e *Engine) ComputeUnit(u *topology.PolicyGroup) {
 	}
 
 	// Phase 1: customer routes climb the provider DAG.
-	settled := make(map[int32]bool, 16)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+	for len(e.q) > 0 {
+		it := e.popQ()
 		x := it.node
-		if settled[x] || e.stamp[x] != e.cur || e.custCost[x] != it.cost {
+		if e.settledStamp[x] == e.cur || e.stamp[x] != e.cur || e.custCost[x] != it.cost {
 			continue
 		}
-		settled[x] = true
+		e.settledStamp[x] = e.cur
 		e.custOrder = append(e.custOrder, x)
 		ax := e.as[x]
 		for _, pASN := range ax.Providers {
 			pi, ok := e.idx[pASN]
-			if !ok || settled[pi] {
+			if !ok || e.settledStamp[pi] == e.cur {
 				continue
 			}
 			expOK, prep := e.exports(ax, u, pASN)
@@ -378,7 +438,7 @@ func (e *Engine) ComputeUnit(u *topology.PolicyGroup) {
 				e.custCost[pi] = cost
 				e.custPar[pi] = x
 				e.custPrep[pi] = int8(prep)
-				heap.Push(&q, pqItem{cost: cost, key: e.tiebreak(pi, ax.ASN), node: pi})
+				e.pushQ(pqItem{cost: cost, key: e.tiebreak(pi, ax.ASN), node: pi})
 			}
 		}
 	}
@@ -505,6 +565,22 @@ func (e *Engine) bestAt(x int32) bool {
 	return true
 }
 
+// carve returns an empty capacity-n slice cut from the path arena. The
+// full slice expression keeps later carves from clobbering it on append.
+func (e *Engine) carve(n int) []uint32 {
+	if len(e.pathArena)+n > cap(e.pathArena) {
+		sz := 1 << 15
+		if n > sz {
+			sz = n
+		}
+		e.pathArena = make([]uint32, 0, sz)
+	}
+	m := len(e.pathArena)
+	s := e.pathArena[m:m:m+n]
+	e.pathArena = e.pathArena[:m+n]
+	return s
+}
+
 // pathCust reconstructs the customer-class path at x (not including x).
 func (e *Engine) pathCust(x int32) []uint32 {
 	if x == e.origin {
@@ -515,7 +591,7 @@ func (e *Engine) pathCust(x int32) []uint32 {
 	}
 	par := e.custPar[x]
 	parPath := e.pathCust(par)
-	path := make([]uint32, 0, len(parPath)+1+int(e.custPrep[x]))
+	path := e.carve(len(parPath) + 1 + int(e.custPrep[x]))
 	for i := 0; i <= int(e.custPrep[x]); i++ {
 		path = append(path, e.asns[par])
 	}
@@ -539,7 +615,7 @@ func (e *Engine) pathBest(x int32) []uint32 {
 	case ClassPeer:
 		par := e.peerPar[x]
 		parPath := e.pathCust(par)
-		path = make([]uint32, 0, len(parPath)+1+int(e.peerPrep[x]))
+		path = e.carve(len(parPath) + 1 + int(e.peerPrep[x]))
 		for i := 0; i <= int(e.peerPrep[x]); i++ {
 			path = append(path, e.asns[par])
 		}
@@ -547,7 +623,7 @@ func (e *Engine) pathBest(x int32) []uint32 {
 	case ClassProvider:
 		par := e.bestPar[x]
 		parPath := e.pathBest(par)
-		path = make([]uint32, 0, len(parPath)+1+int(e.bestPrep[x]))
+		path = e.carve(len(parPath) + 1 + int(e.bestPrep[x]))
 		for i := 0; i <= int(e.bestPrep[x]); i++ {
 			path = append(path, e.asns[par])
 		}
@@ -597,18 +673,19 @@ func (e *Engine) AltRouteAt(asn uint32) (VPRoute, bool) {
 		par  int32
 		prep int8
 	}
-	var best *cand
+	var best cand
+	haveBest := false
 	consider := func(c cand) {
 		if c.kind == chosenKind && c.par == chosenPar {
 			return
 		}
-		if best == nil ||
+		if !haveBest ||
 			c.kind > best.kind ||
 			(c.kind == best.kind && c.cost < best.cost) ||
 			(c.kind == best.kind && c.cost == best.cost &&
 				e.tiebreak(x, e.asns[c.par]) < e.tiebreak(x, e.asns[best.par])) {
-			v := c
-			best = &v
+			best = c
+			haveBest = true
 		}
 	}
 	if e.stamp[x] == e.cur && x != e.origin {
@@ -635,13 +712,14 @@ func (e *Engine) AltRouteAt(asn uint32) (VPRoute, bool) {
 		}
 		consider(cand{kind: ClassProvider, cost: e.bestCost[pi] + 1 + int32(prep), par: pi, prep: int8(prep)})
 	}
-	if best == nil {
+	if !haveBest {
 		return VPRoute{}, false
 	}
-	// Reconstruct the alternative's path.
+	// Reconstruct the alternative's path. inner only lives until it is
+	// copied into the result, so it can come from the unit arena too.
 	var inner []uint32
 	emit := func(par int32, prep int8, parPath []uint32) {
-		inner = make([]uint32, 0, len(parPath)+1+int(prep))
+		inner = e.carve(len(parPath) + 1 + int(prep))
 		for i := 0; i <= int(prep); i++ {
 			inner = append(inner, e.asns[par])
 		}

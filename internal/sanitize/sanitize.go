@@ -336,7 +336,9 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	var vpFeeds []*feedData
 	for _, fd := range feeds {
 		if _, gone := rep.RemovedPeerASes[fd.stat.VP.ASN]; gone {
-			reg.Counter("sanitize.vp_dropped", "vp", fd.stat.VP.String(), "cause", "abnormal-peer").Inc()
+			if reg != nil {
+				reg.Counter("sanitize.vp_dropped", "vp", fd.stat.VP.String(), "cause", "abnormal-peer").Inc()
+			}
 			continue
 		}
 		if len(fd.routes) > rep.FullFeedThreshold ||
@@ -346,7 +348,7 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 				rep.FullFeeds++
 			}
 			vpFeeds = append(vpFeeds, fd)
-		} else {
+		} else if reg != nil {
 			reg.Counter("sanitize.vp_dropped", "vp", fd.stat.VP.String(), "cause", "below-threshold").Inc()
 		}
 	}
@@ -380,43 +382,87 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	stage = sp.Child("admission")
 
 	// Prefix admission: length + visibility thresholds over VP feeds.
-	type vis struct {
-		collectors map[string]struct{}
-		peerASes   map[uint32]struct{}
+	// The candidate set is the sorted union of feed prefixes; distinct
+	// collector / peer-AS counts then come from two reusable stamp
+	// arrays indexed by dense feed-level IDs, so the whole stage
+	// allocates a handful of flat slices instead of three maps per
+	// prefix.
+	total := 0
+	for _, fd := range vpFeeds {
+		total += len(fd.routes)
 	}
-	seen := map[netip.Prefix]*vis{}
+	cand := make([]netip.Prefix, 0, total)
 	for _, fd := range vpFeeds {
 		for pfx := range fd.routes {
-			v := seen[pfx]
-			if v == nil {
-				v = &vis{collectors: map[string]struct{}{}, peerASes: map[uint32]struct{}{}}
-				seen[pfx] = v
-			}
-			v.collectors[fd.stat.VP.Collector] = struct{}{}
-			v.peerASes[fd.stat.VP.ASN] = struct{}{}
+			cand = append(cand, pfx)
 		}
 	}
-	rep.PrefixesSeen = len(seen)
+	prefixset.SortPrefixes(cand)
+	uniq := cand[:0]
+	for i, pfx := range cand {
+		if i == 0 || pfx != cand[i-1] {
+			uniq = append(uniq, pfx)
+		}
+	}
+	rep.PrefixesSeen = len(uniq)
 
-	var admitted []netip.Prefix
-	for pfx, v := range seen {
+	collID := map[string]int32{}
+	asnID := map[uint32]int32{}
+	feedColl := make([]int32, len(vpFeeds))
+	feedASN := make([]int32, len(vpFeeds))
+	for i, fd := range vpFeeds {
+		ci, ok := collID[fd.stat.VP.Collector]
+		if !ok {
+			ci = int32(len(collID))
+			collID[fd.stat.VP.Collector] = ci
+		}
+		ai, ok := asnID[fd.stat.VP.ASN]
+		if !ok {
+			ai = int32(len(asnID))
+			asnID[fd.stat.VP.ASN] = ai
+		}
+		feedColl[i], feedASN[i] = ci, ai
+	}
+	collStamp := make([]int32, len(collID))
+	asnStamp := make([]int32, len(asnID))
+
+	admitted := make([]netip.Prefix, 0, len(uniq))
+	for ci, pfx := range uniq {
 		if opts.LengthFilter && !prefixset.Admissible(pfx) {
 			rep.DroppedByLength++
 			continue
 		}
 		if !opts.KeepAllPrefixes {
-			if len(v.collectors) < opts.MinCollectors {
+			// Count distinct collectors and peer ASes seeing pfx by
+			// stamping each dense ID with this prefix's ordinal — no
+			// clearing between prefixes.
+			stamp := int32(ci + 1)
+			nColl, nASN := 0, 0
+			for fi, fd := range vpFeeds {
+				if _, ok := fd.routes[pfx]; !ok {
+					continue
+				}
+				if collStamp[feedColl[fi]] != stamp {
+					collStamp[feedColl[fi]] = stamp
+					nColl++
+				}
+				if asnStamp[feedASN[fi]] != stamp {
+					asnStamp[feedASN[fi]] = stamp
+					nASN++
+				}
+			}
+			if nColl < opts.MinCollectors {
 				rep.DroppedByCollector++
 				continue
 			}
-			if len(v.peerASes) < opts.MinPeerASes {
+			if nASN < opts.MinPeerASes {
 				rep.DroppedByPeerASes++
 				continue
 			}
 		}
 		admitted = append(admitted, pfx)
 	}
-	prefixset.SortPrefixes(admitted)
+	// admitted inherits uniq's sorted order; no re-sort needed.
 	rep.PrefixesAdmitted = len(admitted)
 	if reg != nil {
 		reg.Counter("sanitize.prefixes_seen").Add(int64(rep.PrefixesSeen))
@@ -435,21 +481,33 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	for i, fd := range vpFeeds {
 		vps[i] = fd.stat.VP
 	}
-	snap := core.NewSnapshot(snapTime, vps, admitted)
 	// Share the interning table built during ingestion.
-	snap.Paths = table
+	snap := core.NewSnapshotWith(snapTime, vps, admitted, table)
 	// Each chunk owns a disjoint range of snapshot rows; only the MOAS
-	// tally is shared, so it accumulates atomically.
+	// tally is shared, so it accumulates atomically. The tiny origins
+	// scratch is reused across the chunk's prefixes (origin counts per
+	// prefix are small; a linear scan beats a map).
 	var moas atomic.Int64
 	parallel.Chunks(opts.Workers, len(admitted), func(lo, hi int) error {
+		origins := make([]uint32, 0, 8)
 		for p := lo; p < hi; p++ {
 			pfx := admitted[p]
-			origins := map[uint32]struct{}{}
+			row := snap.Row(p)
+			origins = origins[:0]
 			for v, fd := range vpFeeds {
 				if id, ok := fd.routes[pfx]; ok {
-					snap.Routes[p][v] = id
+					row[v] = id
 					if o, ok := table.Origin(id); ok {
-						origins[o] = struct{}{}
+						known := false
+						for _, seen := range origins {
+							if seen == o {
+								known = true
+								break
+							}
+						}
+						if !known {
+							origins = append(origins, o)
+						}
 					}
 				}
 			}
@@ -499,7 +557,7 @@ func VisibilityIndex(sources []bgpstream.Source, updateWarnings []bgpstream.Warn
 	for p, pfx := range snap.Prefixes {
 		colls := map[string]struct{}{}
 		ases := map[uint32]struct{}{}
-		for vi, id := range snap.Routes[p] {
+		for vi, id := range snap.Row(p) {
 			if id == aspath.Empty {
 				continue
 			}

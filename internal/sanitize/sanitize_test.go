@@ -291,7 +291,7 @@ func TestCleanPathsShareTable(t *testing.T) {
 	resolved := 0
 	for p := range snap.Prefixes {
 		for v := range snap.VPs {
-			if id := snap.Routes[p][v]; id != aspath.Empty {
+			if id := snap.RouteID(p, v); id != aspath.Empty {
 				if snap.Paths.Seq(id) == nil {
 					t.Fatalf("dangling path id %d", id)
 				}

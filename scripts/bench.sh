@@ -1,14 +1,49 @@
 #!/bin/sh
 # bench.sh — run the PR's key benchmarks with -benchmem and distill
-# them into BENCH_pr2.json: one entry per benchmark (ns/op, B/op,
+# them into BENCH_pr3.json: one entry per benchmark (ns/op, B/op,
 # allocs/op) plus the RunTrend parallel speedup (workers=1 vs the
-# largest pool) and the machine's core count, since the achievable
-# speedup is bounded by it. Run via `make bench` or directly.
+# largest pool) and the host's parallelism facts. Core counts come from
+# the Go runtime (scripts/benchhost.go) rather than nproc: PR2's
+# container-confined nproc recorded "cores": 1, which made its speedup
+# numbers uninterpretable.
+#
+# Usage:
+#   scripts/bench.sh            run benchmarks, write BENCH_pr3.json,
+#                               and (if a previous BENCH_*.json exists)
+#                               print per-benchmark deltas against it
+#   scripts/bench.sh compare    just diff BENCH_pr3.json against the
+#                               previous BENCH_*.json
+# Run via `make bench` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr2.json
+OUT=BENCH_pr3.json
+
+# prev_bench prints the newest BENCH_*.json that is not $OUT.
+prev_bench() {
+    ls BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort | tail -n 1
+}
+
+compare() {
+    PREV=$(prev_bench)
+    if [ -z "$PREV" ]; then
+        echo "bench: no previous BENCH_*.json to compare against"
+        return 0
+    fi
+    if [ ! -f "$OUT" ]; then
+        echo "bench: $OUT not found; run scripts/bench.sh first" >&2
+        return 1
+    fi
+    echo "== comparing $PREV -> $OUT"
+    go run scripts/benchdiff.go "$PREV" "$OUT"
+}
+
+if [ "${1:-}" = "compare" ]; then
+    compare
+    exit $?
+fi
+
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
@@ -20,7 +55,11 @@ echo "== core benchmarks (sharded grouping, origin kernel)"
 go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin' \
     -benchmem ./internal/core/ | tee -a "$RAW"
 
-awk '
+HOST=$(go run scripts/benchhost.go)
+NUMCPU=${HOST% *}
+MAXPROCS=${HOST#* }
+
+awk -v numcpu="$NUMCPU" -v maxprocs="$MAXPROCS" '
 BEGIN { n = 0 }
 /^Benchmark/ && / ns\/op/ {
     name = $1
@@ -33,9 +72,9 @@ BEGIN { n = 0 }
     order[n++] = name
 }
 END {
-    printf "{\n  \"bench\": \"pr2 parallel pipeline\",\n"
-    cmd = "nproc 2>/dev/null || echo 1"; cmd | getline nc; close(cmd)
-    printf "  \"cores\": %d,\n", nc
+    printf "{\n  \"bench\": \"pr3 flat matrix + zero-alloc hot paths\",\n"
+    printf "  \"cores\": %d,\n", numcpu
+    printf "  \"gomaxprocs\": %d,\n", maxprocs
     printf "  \"results\": [\n"
     for (i = 0; i < n; i++) {
         name = order[i]
@@ -56,3 +95,4 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+compare

@@ -1,0 +1,84 @@
+//go:build ignore
+
+// benchdiff compares two bench.sh result files and prints per-benchmark
+// deltas: ns/op, B/op, and allocs/op, with the ratio old/new (so >1
+// means the new run improved). Benchmarks present in only one file are
+// listed as added/removed.
+//
+// Usage: go run scripts/benchdiff.go OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type file struct {
+	Bench   string   `json:"bench"`
+	Results []result `json:"results"`
+}
+
+func load(path string) (file, error) {
+	var f file
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(b, &f)
+}
+
+func ratio(old, new float64) string {
+	if new <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", old/new)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldF, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newF, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	oldBy := map[string]result{}
+	for _, r := range oldF.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%s (%s) -> %s (%s)\n", os.Args[1], oldF.Bench, os.Args[2], newF.Bench)
+	seen := map[string]bool{}
+	for _, n := range newF.Results {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Printf("%s  (added)\n", n.Name)
+			fmt.Printf("  ns/op %.0f  B/op %.0f  allocs/op %.0f\n", n.NsOp, n.BOp, n.AllocsOp)
+			continue
+		}
+		fmt.Println(n.Name)
+		fmt.Printf("  ns/op      %14.0f -> %14.0f  (%s)\n", o.NsOp, n.NsOp, ratio(o.NsOp, n.NsOp))
+		fmt.Printf("  B/op       %14.0f -> %14.0f  (%s)\n", o.BOp, n.BOp, ratio(o.BOp, n.BOp))
+		fmt.Printf("  allocs/op  %14.0f -> %14.0f  (%s)\n", o.AllocsOp, n.AllocsOp, ratio(o.AllocsOp, n.AllocsOp))
+	}
+	for _, o := range oldF.Results {
+		if !seen[o.Name] {
+			fmt.Printf("%-55s (removed)\n", o.Name)
+		}
+	}
+}

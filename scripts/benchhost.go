@@ -1,0 +1,20 @@
+//go:build ignore
+
+// benchhost prints the benchmark host's parallelism facts as JSON
+// fragment fields: the physical core count visible to the runtime and
+// the effective GOMAXPROCS (what the scheduler will actually use).
+// bench.sh embeds both in BENCH_*.json — PR2 recorded "cores": 1 from
+// a container-confined nproc, which made its speedup numbers
+// uninterpretable.
+//
+// Usage: go run scripts/benchhost.go
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Printf("%d %d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}

@@ -25,4 +25,7 @@ go test -race -count=1 ./internal/parallel/ ./internal/aspath/
 echo "== go test -race (determinism at every worker count)"
 go test -race -count=1 -run 'Determinism' ./internal/core/ ./internal/longitudinal/
 
+echo "== bench smoke (-benchtime=1x: bench code must compile and run)"
+go test -run xxx -bench . -benchtime 1x -benchmem . ./internal/core/ ./internal/aspath/
+
 echo "verify: OK"
