@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test bench bench-all verify
+.PHONY: build test lint bench bench-all verify
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Static analysis: the stdlib-only atomlint suite (cmd/atomlint).
+lint:
+	$(GO) run ./cmd/atomlint ./...
 
 # Key benchmarks, distilled into BENCH_pr3.json (see scripts/bench.sh).
 bench:
@@ -16,6 +20,7 @@ bench:
 bench-all:
 	$(GO) test -bench . -benchmem ./...
 
-# Full pre-merge check: vet + build + tests + race smoke.
+# Full pre-merge check: vet + atomlint + build + tests + race and fuzz
+# smokes.
 verify:
 	sh scripts/verify.sh

@@ -1,0 +1,57 @@
+// Command atomlint runs the project's static-analysis suite
+// (internal/lintkit) over the module: determinism, hotpath, wiresafety,
+// and locks. It loads every package with the standard library's
+// go/parser + go/types only — no external analysis frameworks.
+//
+// Usage:
+//
+//	atomlint [-C dir] [-only analyzer[,analyzer]] [packages]
+//
+// Packages are import-path patterns relative to the module
+// ("./...", "./internal/bgp", "repro/internal/mrt/..."); none means the
+// whole module. Exit status: 0 clean, 1 findings, 2 load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lintkit"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root directory")
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lintkit.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lintkit.All
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range lintkit.All {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "atomlint: unknown analyzer %q\n", name)
+				os.Exit(lintkit.ExitError)
+			}
+		}
+	}
+
+	os.Exit(lintkit.Main(os.Stdout, *dir, flag.Args(), analyzers))
+}

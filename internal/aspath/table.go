@@ -86,6 +86,8 @@ func shardOf(k []byte) uint32 {
 // encoded into a stack buffer and the map lookup uses the compiler's
 // non-escaping map[string(buf)] form, so only genuinely new sequences
 // pay for a key copy (TestInternHitPathAllocs locks this in).
+//
+//atomlint:hotpath
 func (t *Table) Intern(seq Seq) ID {
 	if len(seq) == 0 {
 		return Empty
@@ -128,6 +130,8 @@ func (t *Table) internSlow(sh *tableShard, buf []byte, seq Seq) ID {
 // Lookup returns the ID for seq without interning, and false if the
 // sequence has not been interned. Allocation-free like Intern's hit
 // path.
+//
+//atomlint:hotpath
 func (t *Table) Lookup(seq Seq) (ID, bool) {
 	if len(seq) == 0 {
 		return Empty, true

@@ -273,6 +273,9 @@ var attrFlags = map[AttrType]uint8{
 // shifted one byte for the extended length — no per-attribute scratch.
 func appendAttr(dst []byte, a Attr, opt Options) ([]byte, error) {
 	if v, ok := a.(Unknown); ok {
+		if len(v.Data) > 0xffff {
+			return nil, fmt.Errorf("%w: attribute %d payload %d bytes exceeds extended length", ErrBadAttr, v.TypeCode, len(v.Data))
+		}
 		flags := v.Flags &^ flagExtLen
 		if len(v.Data) > 255 {
 			flags |= flagExtLen
@@ -335,6 +338,9 @@ func appendAttr(dst []byte, a Attr, opt Options) ([]byte, error) {
 			dst = binary.BigEndian.AppendUint32(dst, c.Local2)
 		}
 	case MPReach:
+		if len(v.NextHop) > 255 {
+			return nil, fmt.Errorf("%w: MP_REACH next hop %d bytes", ErrBadAttr, len(v.NextHop))
+		}
 		dst = binary.BigEndian.AppendUint16(dst, v.AFI)
 		dst = append(dst, v.SAFI, byte(len(v.NextHop)))
 		dst = append(dst, v.NextHop...)
@@ -371,6 +377,12 @@ func appendAttr(dst []byte, a Attr, opt Options) ([]byte, error) {
 	}
 
 	blen := len(dst) - bodyStart
+	if blen > 0xffff {
+		// Bare attribute blocks (MarshalAttributes for TABLE_DUMP_V2 RIB
+		// entries) have no message-size cap upstream, so the extended
+		// length must be range-checked here or it truncates on the wire.
+		return nil, fmt.Errorf("%w: attribute %d body %d bytes exceeds extended length", ErrBadAttr, a.Type(), blen)
+	}
 	if blen > 255 {
 		// Extended length: make room for the second length byte and
 		// shift the body right by one.

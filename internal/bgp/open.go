@@ -64,7 +64,10 @@ func (o *Open) Marshal() ([]byte, error) {
 	}
 	var params []byte
 	if len(caps) > 0 {
-		if len(caps) > 255 {
+		// The parameter header adds 2 bytes, and the optional-parameters
+		// length field below is one byte, so the caps block must leave
+		// room for both: len(params) = len(caps)+2 must fit in a byte.
+		if len(caps) > 253 {
 			return nil, fmt.Errorf("%w: capabilities block too long", ErrBadAttr)
 		}
 		params = append(params, 2 /* capabilities */, byte(len(caps)))
@@ -82,6 +85,9 @@ func (o *Open) Marshal() ([]byte, error) {
 	msg = binary.BigEndian.AppendUint16(msg, o.HoldTime)
 	id := o.BGPID.As4()
 	msg = append(msg, id[:]...)
+	if len(params) > 255 {
+		return nil, fmt.Errorf("%w: optional parameters %d bytes", ErrBadLength, len(params))
+	}
 	msg = append(msg, byte(len(params)))
 	return append(msg, params...), nil
 }
@@ -94,6 +100,9 @@ func ParseOpen(b []byte) (*Open, error) {
 	}
 	if h.Type != MsgOpen {
 		return nil, fmt.Errorf("%w: got type %d, want OPEN", ErrBadType, h.Type)
+	}
+	if int(h.Len) > len(b) {
+		return nil, fmt.Errorf("%w: header claims %d bytes, have %d", ErrTruncated, h.Len, len(b))
 	}
 	body := b[HeaderLen:h.Len]
 	if len(body) < 10 {
@@ -201,6 +210,9 @@ func ParseNotification(b []byte) (*Notification, error) {
 	}
 	if h.Type != MsgNotification {
 		return nil, fmt.Errorf("%w: got type %d, want NOTIFICATION", ErrBadType, h.Type)
+	}
+	if int(h.Len) > len(b) {
+		return nil, fmt.Errorf("%w: header claims %d bytes, have %d", ErrTruncated, h.Len, len(b))
 	}
 	body := b[HeaderLen:h.Len]
 	if len(body) < 2 {

@@ -1,0 +1,160 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+// Regression tests for the wire-safety findings the atomlint suite
+// surfaced: parsers trusting the header length over the buffer length
+// (panic on truncated input), and marshalers narrowing section lengths
+// without range checks (silent truncation on the wire).
+
+// headerOverclaim returns msg cut short so the header's length field
+// claims more bytes than the slice holds — the shape a truncated read
+// from a TCP stream or MRT file produces.
+func headerOverclaim(msg []byte) []byte {
+	return msg[:len(msg)-2]
+}
+
+func TestParseOpenHeaderOverclaim(t *testing.T) {
+	o := &Open{ASN: 65001, HoldTime: 90, BGPID: netip.MustParseAddr("10.0.0.1"),
+		Capabilities: []Capability{AS4Capability(65001)}}
+	msg, err := o.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOpen(headerOverclaim(msg)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("overclaiming OPEN: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseNotificationHeaderOverclaim(t *testing.T) {
+	n := &Notification{Code: 6, Subcode: 2, Data: []byte("bye")}
+	msg, err := n.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseNotification(headerOverclaim(msg)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("overclaiming NOTIFICATION: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestParseUpdateHeaderOverclaim(t *testing.T) {
+	u, err := NewAnnouncement([]uint32{65001, 65002}, netip.MustParseAddr("10.0.0.1"),
+		[]netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := u.Marshal(Options{AS4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseUpdate(headerOverclaim(msg), Options{AS4: true}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("overclaiming UPDATE: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestOpenCapsBlockBoundary(t *testing.T) {
+	// The optional-parameters length is one byte and the capability
+	// parameter header costs 2, so the caps block tops out at 253 bytes.
+	// One byte over must error, not wrap the length byte.
+	capOf := func(n int) *Open {
+		return &Open{ASN: 65001, BGPID: netip.MustParseAddr("10.0.0.1"),
+			Capabilities: []Capability{{Code: 200, Data: make([]byte, n)}}}
+	}
+	// 2-byte TLV header + 251 data = 253: the largest encodable block.
+	msg, err := capOf(251).Marshal()
+	if err != nil {
+		t.Fatalf("253-byte caps block: %v", err)
+	}
+	got, err := ParseOpen(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Capabilities) != 1 || len(got.Capabilities[0].Data) != 251 {
+		t.Errorf("capabilities = %+v", got.Capabilities)
+	}
+	if _, err := capOf(252).Marshal(); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("254-byte caps block: err = %v, want ErrBadAttr", err)
+	}
+}
+
+func TestUnknownAttrLengthBoundary(t *testing.T) {
+	attr := func(n int) Unknown {
+		return Unknown{Flags: flagOptional | flagTransitive, TypeCode: 200, Data: make([]byte, n)}
+	}
+	// 0xffff fits the extended length and must round-trip.
+	b, err := MarshalAttributes([]Attr{attr(0xffff)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := ParseAttributes(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 1 {
+		t.Fatalf("attrs = %d", len(attrs))
+	}
+	if u, ok := attrs[0].(Unknown); !ok || len(u.Data) != 0xffff {
+		t.Errorf("round-tripped attr = %#v", attrs[0])
+	}
+	// One byte more overflows uint16 and must error, not truncate.
+	if _, err := MarshalAttributes([]Attr{attr(0x10000)}, Options{}); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("oversized unknown attr: err = %v, want ErrBadAttr", err)
+	}
+}
+
+func TestAttrBodyExceedsExtendedLength(t *testing.T) {
+	// TABLE_DUMP_V2 RIB entries carry bare attribute blocks with no
+	// message-size cap, so an encoded body over 0xffff bytes must be
+	// rejected at the attribute level.
+	comms := make(Communities, 0x10000/4+1) // 65540-byte body
+	if _, err := MarshalAttributes([]Attr{comms}, Options{}); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("oversized communities: err = %v, want ErrBadAttr", err)
+	}
+	// Just under the limit still uses the extended-length form.
+	comms = make(Communities, 0xfffc/4) // 65532-byte body
+	b, err := MarshalAttributes([]Attr{comms}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := ParseAttributes(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := attrs[0].(Communities); !ok || len(got) != len(comms) {
+		t.Errorf("round-tripped %T len %d, want Communities len %d", attrs[0], len(got), len(comms))
+	}
+}
+
+func TestMPReachNextHopTooLong(t *testing.T) {
+	nh := netip.MustParseAddr("2001:db8::1").As16()
+	ok := MPReach{AFI: AFIIPv6, SAFI: SAFIUnicast, NextHop: nh[:],
+		NLRI: []NLRI{{Prefix: netip.MustParsePrefix("2001:db8::/32")}}}
+	if _, err := MarshalAttributes([]Attr{ok}, Options{}); err != nil {
+		t.Fatalf("16-byte next hop: %v", err)
+	}
+	bad := ok
+	bad.NextHop = make([]byte, 256) // length field is one byte
+	if _, err := MarshalAttributes([]Attr{bad}, Options{}); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("256-byte next hop: err = %v, want ErrBadAttr", err)
+	}
+}
+
+func TestAppendMessageSectionOverflow(t *testing.T) {
+	// ~14k /32 withdrawals encode to ~70000 bytes: past the 16-bit
+	// withdrawn-routes length. The section guard must reject this before
+	// the length field is patched (the message-size check alone would
+	// also fire, but only after the uint16 had silently wrapped).
+	u := &Update{}
+	for i := 0; i < 14000; i++ {
+		p := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.%d/32", i>>16&0xff, i>>8&0xff, i&0xff))
+		u.Withdrawn = append(u.Withdrawn, NLRI{Prefix: p})
+	}
+	if _, err := u.Marshal(Options{}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("oversized withdrawn section: err = %v, want ErrBadLength", err)
+	}
+}

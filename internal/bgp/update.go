@@ -122,6 +122,9 @@ func (u *Update) AppendMessage(dst []byte, opt Options) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if len(dst)-wStart > 0xffff {
+		return nil, fmt.Errorf("%w: withdrawn routes %d bytes", ErrBadLength, len(dst)-wStart)
+	}
 	binary.BigEndian.PutUint16(dst[wStart-2:], uint16(len(dst)-wStart))
 
 	dst = append(dst, 0, 0) // total path attribute length, patched below
@@ -143,6 +146,9 @@ func (u *Update) AppendMessage(dst []byte, opt Options) ([]byte, error) {
 				}
 			}
 		}
+	}
+	if len(dst)-aStart > 0xffff {
+		return nil, fmt.Errorf("%w: path attributes %d bytes", ErrBadLength, len(dst)-aStart)
 	}
 	binary.BigEndian.PutUint16(dst[aStart-2:], uint16(len(dst)-aStart))
 
@@ -179,6 +185,8 @@ func ParseUpdate(b []byte, opt Options) (*Update, error) {
 // with near-zero per-message allocations (combine with Options.Cache to
 // also dedupe attribute payloads). On error u is left in an undefined
 // state.
+//
+//atomlint:hotpath
 func ParseUpdateInto(u *Update, b []byte, opt Options) error {
 	h, err := ParseHeader(b)
 	if err != nil {

@@ -74,18 +74,24 @@ func NewSnapshotWith(time uint32, vps []VP, prefixes []netip.Prefix, paths *aspa
 // Row returns prefix p's per-VP path vector — a view into the flat
 // backing array (capacity-clipped so appends never bleed into the next
 // row). Mutations write through to the snapshot.
+//
+//atomlint:hotpath
 func (s *Snapshot) Row(p int) []aspath.ID {
 	lo := p * s.stride
 	return s.routes[lo : lo+s.stride : lo+s.stride]
 }
 
 // RouteID returns the interned path ID at (prefix index, vp index).
+//
+//atomlint:hotpath
 func (s *Snapshot) RouteID(p, v int) aspath.ID {
 	return s.routes[p*s.stride+v]
 }
 
 // SetRouteID stores an already-interned path ID at (prefix index, vp
 // index).
+//
+//atomlint:hotpath
 func (s *Snapshot) SetRouteID(p, v int, id aspath.ID) {
 	s.routes[p*s.stride+v] = id
 }

@@ -1,0 +1,153 @@
+package lintkit
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprText renders an expression to its source form — the cheap
+// structural-equality key the guard matchers use ("len(b)" guards uses
+// of "b", wherever both appear).
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// walkParents traverses the AST depth-first, passing each node's
+// ancestor stack (outermost first) to fn. Returning false prunes the
+// subtree.
+func walkParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// calleeName returns the bare name of a call target: "Sort" for
+// sort.Slice or s.Sort, "len" for len. Empty for indirect calls.
+func calleeName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.ParenExpr:
+		return calleeName(f.X)
+	case *ast.IndexExpr: // generic instantiation
+		return calleeName(f.X)
+	}
+	return ""
+}
+
+// pkgFunc reports whether the call is pkgname.Funcname on an imported
+// package (not a method on a variable that shadows the name).
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}
+
+// pkgOf returns the imported-package path of a selector call's
+// qualifier, or "" when the callee is not a package-qualified function.
+func pkgOf(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isTypeConversion reports whether the call is a conversion T(x),
+// returning the target type.
+func isTypeConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// containsLenCall scans e for a len(x) call and returns the text of the
+// first argument found ("" if none).
+func containsLenCall(fset *token.FileSet, info *types.Info, e ast.Expr) (string, bool) {
+	var argText string
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "len" {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		argText = exprText(fset, call.Args[0])
+		found = true
+		return false
+	})
+	return argText, found
+}
+
+// hasSuffixPath reports whether the import path ends with one of the
+// given "internal/<name>" suffixes.
+func hasSuffixPath(path string, names []string, under string) bool {
+	for _, n := range names {
+		if strings.HasSuffix(path, under+"/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasAnnotation reports whether the function's doc comment (or any
+// comment line inside the doc group) carries the given //atomlint:
+// directive, e.g. "hotpath".
+func funcHasAnnotation(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//atomlint:"+directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package lintkit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixtures under testdata/src mark each expected finding with a
+// trailing `// want "substring"` comment on the diagnostic's line. The
+// harness demands an exact match both ways: every diagnostic must hit
+// an unclaimed want, and every want must be claimed — so a disabled or
+// regressed analyzer fails the test with the exact missing line.
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+type wantDiag struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var (
+	fixtureMu    sync.Mutex
+	fixtureCache = map[string]*Package{}
+)
+
+// loadFixtureT loads testdata/src/<dir> type-checked under the given
+// (synthetic) import path, memoized — the GOROOT source importer makes
+// each cold load cost real time.
+func loadFixtureT(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	key := dir + "|" + importPath
+	if p, ok := fixtureCache[key]; ok {
+		return p
+	}
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s as %s: %v", dir, importPath, err)
+	}
+	fixtureCache[key] = pkg
+	return pkg
+}
+
+func collectWants(pkg *Package) []*wantDiag {
+	var wants []*wantDiag
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, substr: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkFixture(t *testing.T, dir, importPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixtureT(t, dir, importPath)
+	wants := collectWants(pkg)
+	diags := RunAnalyzers([]*Package{pkg}, analyzers)
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// The fixtures run under the full suite: the scoped analyzers must not
+// bleed into each other's fixtures, and the target analyzer must produce
+// exactly the marked findings.
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "determinism", "repro/internal/core", All)
+}
+
+func TestHotpathFixture(t *testing.T) {
+	checkFixture(t, "hotpath", "repro/internal/hotfix", All)
+}
+
+func TestWireSafetyFixture(t *testing.T) {
+	checkFixture(t, "wiresafety", "repro/internal/mrt", All)
+}
+
+func TestLocksFixture(t *testing.T) {
+	checkFixture(t, "locks", "repro/internal/lockfix", All)
+}
+
+// TestFixtureSilentWithAnalyzerDisabled is the golden inversion: running
+// a fixture with its analyzer removed must produce zero diagnostics —
+// proving every marked finding is attributable to that one check (and
+// that the fixture test above genuinely fails if the check is disabled).
+func TestFixtureSilentWithAnalyzerDisabled(t *testing.T) {
+	cases := []struct {
+		dir, path string
+		disabled  *Analyzer
+	}{
+		{"determinism", "repro/internal/core", Determinism},
+		{"hotpath", "repro/internal/hotfix", Hotpath},
+		{"wiresafety", "repro/internal/mrt", WireSafety},
+		{"locks", "repro/internal/lockfix", Locks},
+	}
+	for _, tc := range cases {
+		var rest []*Analyzer
+		for _, a := range All {
+			if a != tc.disabled {
+				rest = append(rest, a)
+			}
+		}
+		pkg := loadFixtureT(t, tc.dir, tc.path)
+		if diags := RunAnalyzers([]*Package{pkg}, rest); len(diags) != 0 {
+			t.Errorf("%s fixture with %s disabled: %d diagnostic(s), want 0 (first: %s)",
+				tc.dir, tc.disabled.Name, len(diags), diags[0])
+		}
+	}
+}
+
+// TestScopedAnalyzersRespectPackagePaths loads the violation-riddled
+// fixture sources under paths outside the analyzer's scope: the
+// allowlist must silence everything.
+func TestScopedAnalyzersRespectPackagePaths(t *testing.T) {
+	pkg := loadFixtureT(t, "determinism", "repro/internal/obs")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("determinism fixture under internal/obs: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+	pkg = loadFixtureT(t, "wiresafety", "repro/internal/obs")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WireSafety}); len(diags) != 0 {
+		t.Errorf("wiresafety fixture under internal/obs: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+}
+
+// TestIgnoreSuppression pins down //atomlint:ignore semantics: a valid
+// directive silences its analyzer on its own line and the line below,
+// a directive for another analyzer suppresses nothing, and malformed or
+// unknown-analyzer directives are themselves findings.
+func TestIgnoreSuppression(t *testing.T) {
+	pkg := loadFixtureT(t, "ignore", "repro/internal/core")
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
+
+	var det, kit []Diag
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "determinism":
+			det = append(det, d)
+		case "lintkit":
+			kit = append(kit, d)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	// Six time.Now calls; the two properly-suppressed ones must vanish,
+	// the other four (unsuppressed, wrong analyzer, malformed directive,
+	// unknown analyzer) must survive.
+	if len(det) != 4 {
+		t.Errorf("determinism diagnostics = %d, want 4: %v", len(det), det)
+	}
+	if len(kit) != 2 {
+		t.Fatalf("lintkit directive diagnostics = %d, want 2: %v", len(kit), kit)
+	}
+	if !strings.Contains(kit[0].Message, "malformed atomlint:ignore") {
+		t.Errorf("first directive diagnostic = %q, want malformed-directive finding", kit[0].Message)
+	}
+	if !strings.Contains(kit[1].Message, "unknown analyzer") {
+		t.Errorf("second directive diagnostic = %q, want unknown-analyzer finding", kit[1].Message)
+	}
+}
+
+// writeTree writes a map of relative path → contents under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const fixtureGoMod = "module fixturemod\n\ngo 1.22\n"
+
+func TestMainExitCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": fixtureGoMod,
+		"ok.go":  "package cleanmod\n\n// OK is fine.\nfunc OK() int { return 1 }\n",
+	})
+	var out bytes.Buffer
+	if got := Main(&out, dir, nil, All); got != ExitClean {
+		t.Fatalf("Main = %d, want %d; output:\n%s", got, ExitClean, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+func TestMainExitFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":                fixtureGoMod,
+		"internal/core/core.go": "package core\n\nimport \"time\"\n\n// Stamp is nondeterministic on purpose.\nfunc Stamp() int64 { return time.Now().Unix() }\n",
+	})
+	var out bytes.Buffer
+	if got := Main(&out, dir, nil, All); got != ExitFindings {
+		t.Fatalf("Main = %d, want %d; output:\n%s", got, ExitFindings, out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "time.Now") || !strings.Contains(s, "finding(s)") {
+		t.Errorf("findings output missing diagnostic or summary:\n%s", s)
+	}
+
+	// Pattern filtering: naming the offending package still finds it,
+	// a disjoint pattern filters everything out and exits clean.
+	out.Reset()
+	if got := Main(&out, dir, []string{"./internal/core"}, All); got != ExitFindings {
+		t.Errorf("Main(./internal/core) = %d, want %d", got, ExitFindings)
+	}
+	out.Reset()
+	if got := Main(&out, dir, []string{"./internal/other/..."}, All); got != ExitClean {
+		t.Errorf("Main(./internal/other/...) = %d, want %d; output:\n%s", got, ExitClean, out.String())
+	}
+}
+
+func TestMainExitLoadError(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": fixtureGoMod,
+		"bad.go": "package broken\n\nfunc (\n",
+	})
+	var out bytes.Buffer
+	if got := Main(&out, dir, nil, All); got != ExitError {
+		t.Fatalf("Main = %d, want %d; output:\n%s", got, ExitError, out.String())
+	}
+	if !strings.Contains(out.String(), "atomlint:") {
+		t.Errorf("load-error output missing atomlint prefix:\n%s", out.String())
+	}
+
+	// A directory that is not a module at all is also a load error.
+	out.Reset()
+	if got := Main(&out, t.TempDir(), nil, All); got != ExitError {
+		t.Errorf("Main on non-module dir = %d, want %d", got, ExitError)
+	}
+}

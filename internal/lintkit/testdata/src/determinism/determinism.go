@@ -1,0 +1,69 @@
+// Package detfix exercises the determinism analyzer. The test loads it
+// under the synthetic import path "repro/internal/core" so the
+// deterministic-package scope applies; loaded under an allowlisted path
+// (e.g. "repro/internal/obs") the same sources must be clean.
+package detfix
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want "time.Now in deterministic package"
+}
+
+func fromEnv() string {
+	return os.Getenv("ATOM_SEED") // want "environment read in deterministic package"
+}
+
+func roll() int {
+	return rand.Int()
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		n += len(scratch)
+	}
+	return n
+}
+
+func printKeys(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "fmt.Println inside map iteration"
+	}
+}
+
+func writeKeys(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside map iteration"
+	}
+	return sb.String()
+}
+
+var _ = []any{stamp, fromEnv, roll, unsortedKeys, sortedKeys, loopLocal, printKeys, writeKeys}

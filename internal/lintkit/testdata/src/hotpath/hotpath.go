@@ -1,0 +1,40 @@
+// Package hotfix exercises the hotpath analyzer: every allocating
+// construct inside an //atomlint:hotpath function is a finding; the
+// unannotated twin at the bottom must stay silent.
+package hotfix
+
+import "fmt"
+
+type T struct{ a, b int }
+
+//atomlint:hotpath
+func hotBad(m map[string]int, b []byte, s string) (int, error) {
+	p := &T{a: 1}                 // want "&composite literal"
+	sl := []int{1, 2}             // want "slice literal"
+	mm := map[string]int{}        // want "map literal"
+	buf := make([]byte, 8)        // want "make in hot path"
+	q := new(T)                   // want "new in hot path"
+	str := fmt.Sprintf("%d", p.a) // want "fmt.Sprintf in hot path"
+	c := string(b)                // want "conversion in hot path copies"
+	d := []byte(s)                // want "conversion in hot path copies"
+	f := func() int { return 1 }  // want "closure in hot path"
+	return p.a + sl[0] + mm[s] + len(buf) + q.b + len(str) + len(c) + len(d) + f(), nil
+}
+
+//atomlint:hotpath
+func hotGood(m map[string]int, b []byte) (int, error) {
+	v, ok := m[string(b)] // the compiler-optimized lookup form is allowed
+	if !ok {
+		return 0, fmt.Errorf("missing key %q", b) // Errorf is the cold path
+	}
+	g := func() int { return v }() // called in place: does not escape
+	var t T
+	t = T{a: g} // value struct literal stays on the stack
+	return t.a, nil
+}
+
+func coldTwin() *T {
+	return &T{a: 3} // unannotated: the same construct is fine here
+}
+
+var _ = []any{hotBad, hotGood, coldTwin}

@@ -1,0 +1,97 @@
+// Package lockfix exercises every locks-analyzer finding class. The
+// locks analyzer is unscoped, so the import path does not matter.
+package lockfix
+
+import "sync"
+
+// S is a lock-bearing type: any by-value copy of it is a finding.
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Striped mirrors the striped-lock table shape: the lock sits two
+// levels deep, through an array of structs.
+type Striped struct {
+	shards [4]S
+}
+
+func byValueParam(s S) int { // want "parameter passes"
+	return s.n
+}
+
+func (s S) byValueMethod() int { // want "receiver passes"
+	return s.n
+}
+
+func stripedParam(t Striped) int { // want "parameter passes"
+	return t.shards[0].n
+}
+
+func copyAssign(a *S) int {
+	b := *a // want "assignment copies"
+	return b.n
+}
+
+func rangeCopy(ss []S) int {
+	n := 0
+	for _, s := range ss { // want "range copies"
+		n += s.n
+	}
+	return n
+}
+
+func pointerParamOK(s *S) int {
+	return s.n
+}
+
+func lockNoUnlock(s *S) {
+	s.mu.Lock() // want "no matching Unlock"
+	s.n++
+}
+
+func lockReturnBetween(s *S, c bool) int {
+	s.mu.Lock()
+	if c {
+		return 1 // want "leaves the lock held"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func unlockBeforeLock(s *S) {
+	s.mu.Unlock()
+	s.mu.Lock() // want "only unlocked before"
+}
+
+func lockDeferOK(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// R pairs a read-write mutex with the map it guards.
+type R struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (r *R) readOK(k string) int {
+	r.mu.RLock()
+	v := r.m[k]
+	r.mu.RUnlock()
+	return v
+}
+
+func (r *R) readEarlyReturn(k string, skip bool) int {
+	r.mu.RLock()
+	if skip {
+		return 0 // want "leaves the lock held"
+	}
+	v := r.m[k]
+	r.mu.RUnlock()
+	return v
+}
+
+var _ = []any{byValueParam, S.byValueMethod, stripedParam, copyAssign, rangeCopy, pointerParamOK,
+	lockNoUnlock, lockReturnBetween, unlockBeforeLock, lockDeferOK, (*R).readOK, (*R).readEarlyReturn}

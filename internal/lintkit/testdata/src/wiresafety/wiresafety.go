@@ -1,0 +1,52 @@
+// Package wirefix exercises the wiresafety analyzer. The test loads it
+// under "repro/internal/mrt" so the wire-codec scope applies.
+package wirefix
+
+import "encoding/binary"
+
+func marshalUnguarded(name string, data []byte) []byte {
+	var out []byte
+	out = append(out, byte(len(name)))                          // want "narrows len(name)"
+	out = binary.BigEndian.AppendUint16(out, uint16(len(data))) // want "uint16 narrows len(data)"
+	return out
+}
+
+func marshalGuarded(name string, data []byte) ([]byte, bool) {
+	if len(name) > 255 || len(data) > 0xffff {
+		return nil, false
+	}
+	var out []byte
+	out = append(out, byte(len(name)))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(data)))
+	return out, true
+}
+
+func derivedUnguarded(b []byte, start int) uint16 {
+	n := len(b) - start
+	return uint16(n) // want "narrows length-derived n"
+}
+
+func derivedGuarded(b []byte, start int) uint16 {
+	n := len(b) - start
+	if n < 0 || n > 0xffff {
+		return 0
+	}
+	return uint16(n)
+}
+
+func ParseUnguarded(b []byte) uint16 {
+	return binary.BigEndian.Uint16(b[0:2]) // want "indexing b with no earlier len"
+}
+
+func ParseGuarded(b []byte) (uint16, bool) {
+	if len(b) < 2 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(b[0:2]), true
+}
+
+func indexOutsideParse(b []byte) byte {
+	return b[0] // not a Parse* function: indexing here is out of scope
+}
+
+var _ = []any{marshalUnguarded, marshalGuarded, derivedUnguarded, derivedGuarded, ParseUnguarded, ParseGuarded, indexOutsideParse}

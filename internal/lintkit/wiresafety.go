@@ -1,0 +1,250 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// wirePkgs are the binary codec packages the analyzer applies to.
+var wirePkgs = []string{"mrt", "bgp"}
+
+// WireSafety enforces bounds discipline in the wire codecs
+// (internal/mrt, internal/bgp):
+//
+//   - a narrowing conversion of a length — uint16(len(x)),
+//     byte(len(x)-y), or a conversion of a variable assigned from a
+//     len() expression — must be dominated (in source order within the
+//     function) by a condition mentioning that length, otherwise an
+//     oversized value silently truncates on the wire;
+//   - slice indexing of []byte values inside Parse* functions must be
+//     preceded by a len() check of the same expression, otherwise a
+//     truncated input panics instead of returning ErrTruncated.
+//
+// Both checks are heuristic (any earlier comparison on the same length
+// counts as the guard) — they catch the missing-check class, not wrong
+// bounds.
+var WireSafety = &Analyzer{
+	Name: "wiresafety",
+	Doc:  "flag unguarded length narrowing and unchecked slice access in the wire codecs",
+	Run:  runWireSafety,
+}
+
+func runWireSafety(pass *Pass) {
+	if !hasSuffixPath(pass.Pkg.Path, wirePkgs, "internal") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkNarrowing(pass, fd)
+			if name := fd.Name.Name; strings.HasPrefix(name, "Parse") || strings.HasPrefix(name, "parse") {
+				checkParseIndexing(pass, fd)
+			}
+		}
+	}
+}
+
+// lenGuards collects, per function, every condition position that
+// mentions len(<text>) or compares <ident>: guardExprs maps the guarded
+// expression text to the positions of its guards.
+type lenGuards struct {
+	fset *token.FileSet
+	// conds are all condition expressions (if/for/switch) in the
+	// function with their positions.
+	conds []ast.Expr
+}
+
+func collectConds(fd *ast.FuncDecl) []ast.Expr {
+	var conds []ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.IfStmt:
+			if v.Cond != nil {
+				conds = append(conds, v.Cond)
+			}
+		case *ast.ForStmt:
+			if v.Cond != nil {
+				conds = append(conds, v.Cond)
+			}
+		case *ast.SwitchStmt:
+			if v.Tag != nil {
+				conds = append(conds, v.Tag)
+			}
+		}
+		return true
+	})
+	return conds
+}
+
+// guardedBefore reports whether any condition before pos mentions
+// len(<target>) (by expression text).
+func guardedBefore(pass *Pass, conds []ast.Expr, pos token.Pos, target string) bool {
+	info := pass.Pkg.Info
+	for _, cond := range conds {
+		if cond.Pos() >= pos {
+			continue
+		}
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "len" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if exprText(pass.Pkg.Fset, call.Args[0]) == target {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// identComparedBefore reports whether any condition before pos mentions
+// the given object in a comparison — the guard form for a variable that
+// holds a length (blen := len(dst)-start; if blen > 255 {...}).
+func identComparedBefore(pass *Pass, conds []ast.Expr, pos token.Pos, obj types.Object) bool {
+	info := pass.Pkg.Info
+	for _, cond := range conds {
+		if cond.Pos() >= pos {
+			continue
+		}
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNarrowing flags uint8/uint16 conversions of length-derived values
+// with no earlier condition on that length.
+func checkNarrowing(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	conds := collectConds(fd)
+
+	// Taint idents assigned from len() expressions: blen := len(dst)-start.
+	tainted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if _, hasLen := containsLenCall(pass.Pkg.Fset, info, rhs); !hasLen {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					tainted[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, ok := isTypeConversion(info, call)
+		if !ok || !isNarrowInt(target) {
+			return true
+		}
+		arg := call.Args[0]
+		if lenArg, hasLen := containsLenCall(pass.Pkg.Fset, info, arg); hasLen {
+			if !guardedBefore(pass, conds, call.Pos(), lenArg) {
+				pass.Reportf(call.Pos(), "%s narrows len(%s) with no earlier bounds check on it: oversized values truncate silently on the wire",
+					typeName(target), lenArg)
+			}
+			return true
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj != nil && tainted[obj] && !identComparedBefore(pass, conds, call.Pos(), obj) {
+				pass.Reportf(call.Pos(), "%s narrows length-derived %s with no earlier bounds check on it", typeName(target), id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isNarrowInt reports whether the conversion target is an 8- or 16-bit
+// integer — the widths a Go length can overflow.
+func isNarrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint8, types.Uint16, types.Int8, types.Int16:
+		return true
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Name()
+	}
+	return t.String()
+}
+
+// checkParseIndexing flags b[i] / b[i:j] on []byte values inside Parse*
+// functions when no earlier condition checks len of the same expression.
+func checkParseIndexing(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	conds := collectConds(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var base ast.Expr
+		switch v := n.(type) {
+		case *ast.IndexExpr:
+			base = v.X
+		case *ast.SliceExpr:
+			base = v.X
+		default:
+			return true
+		}
+		tv, ok := info.Types[base]
+		if !ok || !isByteSlice(tv.Type.Underlying()) {
+			return true
+		}
+		switch base.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true // composite bases (f().x, a[i][j]) are out of scope
+		}
+		text := exprText(pass.Pkg.Fset, base)
+		if !guardedBefore(pass, conds, n.Pos(), text) {
+			pass.Reportf(n.Pos(), "indexing %s with no earlier len(%s) check: truncated input panics instead of returning an error", text, text)
+		}
+		return true
+	})
+}

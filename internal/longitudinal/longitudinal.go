@@ -10,6 +10,7 @@ package longitudinal
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/bgp"
 	"repro/internal/bgpstream"
@@ -208,9 +209,17 @@ func (r *EraRun) SnapshotAt(t float64) (*core.AtomSet, *sanitize.Report, error) 
 	} else {
 		bsp := sp.Child("collector.build_ribs")
 		ribs := collector.BuildRIBs(r.Graph, r.Infra, ov, ts)
-		var sources []bgpstream.Source
+		// Archive order feeds the sanitize pipeline; iterate the map in
+		// sorted-name order so the run is byte-stable across processes.
+		names := make([]string, 0, len(ribs.Archives))
+		for name := range ribs.Archives {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sources := make([]bgpstream.Source, 0, len(names))
 		totalBytes := 0
-		for name, data := range ribs.Archives {
+		for _, name := range names {
+			data := ribs.Archives[name]
 			sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
 			totalBytes += len(data)
 		}
@@ -242,9 +251,15 @@ func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstrea
 	}
 	bsp := sp.Child("collector.build_updates")
 	archives := collector.BuildUpdates(r.Graph, r.Infra, cfg)
-	var sources []bgpstream.Source
+	names := make([]string, 0, len(archives))
+	for name := range archives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sources := make([]bgpstream.Source, 0, len(names))
 	totalBytes := 0
-	for name, data := range archives {
+	for _, name := range names {
+		data := archives[name]
 		sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
 		totalBytes += len(data)
 	}

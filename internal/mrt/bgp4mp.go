@@ -51,6 +51,8 @@ func (m *Message) Marshal() ([]byte, error) {
 
 // AppendMarshal appends the encoded BGP4MP message body to dst — a
 // caller looping over messages can reuse one scratch buffer.
+//
+//atomlint:hotpath
 func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
 	afi := afiFor(m.PeerAddr)
 	if afiFor(m.LocalAddr) != afi {
@@ -97,6 +99,8 @@ func ParseMessage(subtype uint16, b []byte) (*Message, error) {
 // ParseMessageInto decodes a BGP4MP MESSAGE-family body into m without
 // copying: m.Data aliases b and is only valid until b's backing buffer
 // is reused. Allocation-free hot path for streaming decoders.
+//
+//atomlint:hotpath
 func ParseMessageInto(m *Message, subtype uint16, b []byte) error {
 	*m = Message{}
 	switch subtype {

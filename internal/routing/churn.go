@@ -3,6 +3,7 @@ package routing
 import (
 	"math"
 	"net/netip"
+	"slices"
 
 	"repro/internal/topology"
 )
@@ -389,11 +390,7 @@ func sortedKeys(m map[uint32]topology.AnnouncePolicy) []uint32 {
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 

@@ -108,6 +108,7 @@ func BuildMoveSet(ov *Overlay) *MoveSet {
 	}
 	for pfx, target := range ov.PrefixMoves {
 		ms.away[pfx] = true
+		//atomlint:ignore determinism every into-bucket is sorted by the loop below
 		ms.into[target] = append(ms.into[target], pfx)
 	}
 	for _, ps := range ms.into {

@@ -205,6 +205,14 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 	for _, fd := range feeds {
 		list = append(list, fd)
 	}
+	// The map iteration above hands CleanFeeds its feed order; sort by VP
+	// so interning and report assembly see a process-stable sequence.
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].VP.Collector != list[j].VP.Collector {
+			return list[i].VP.Collector < list[j].VP.Collector
+		}
+		return list[i].VP.ASN < list[j].VP.ASN
+	})
 	sp.SetAttr("sources", len(sources))
 	sp.SetAttr("rib_elems", elems)
 	sp.SetAttr("feeds", len(list))

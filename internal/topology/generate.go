@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"net/netip"
+	"slices"
 )
 
 // ASN layout. Identities are stable functions of creation index so that
@@ -600,12 +601,7 @@ func announceKeys(g *PolicyGroup) []uint32 {
 	for n := range g.Announce {
 		out = append(out, n)
 	}
-	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k] < out[k-1]; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 

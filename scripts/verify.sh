@@ -1,14 +1,18 @@
 #!/bin/sh
-# verify.sh — the repo's full pre-merge check: vet, build, tests, and a
-# race-detector smoke of the concurrency-sensitive packages (the obs
-# instruments are lock-free atomics; bgpstream caches counters).
-# Run via `make verify` or directly.
+# verify.sh — the repo's full pre-merge check: vet, atomlint, build,
+# tests, a race-detector smoke of the concurrency-sensitive packages
+# (the obs instruments are lock-free atomics; bgpstream caches counters;
+# collector and routing fan work out to the pool), and short fuzz smokes
+# of the wire codecs. Run via `make verify` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== atomlint ./... (determinism, hotpath, wiresafety, locks)"
+go run ./cmd/atomlint ./...
 
 echo "== go build ./..."
 go build ./...
@@ -22,8 +26,15 @@ go test -race -count=1 ./internal/obs/ ./internal/bgpstream/
 echo "== go test -race (worker pool + striped intern table)"
 go test -race -count=1 ./internal/parallel/ ./internal/aspath/
 
+echo "== go test -race (collector + routing engine)"
+go test -race -count=1 ./internal/collector/ ./internal/routing/
+
 echo "== go test -race (determinism at every worker count)"
 go test -race -count=1 -run 'Determinism' ./internal/core/ ./internal/longitudinal/
+
+echo "== fuzz smoke (5s per wire codec)"
+go test -fuzz FuzzParseMessage -fuzztime 5s -run '^$' ./internal/mrt/
+go test -fuzz FuzzParseUpdate -fuzztime 5s -run '^$' ./internal/bgp/
 
 echo "== bench smoke (-benchtime=1x: bench code must compile and run)"
 go test -run xxx -bench . -benchtime 1x -benchmem . ./internal/core/ ./internal/aspath/
