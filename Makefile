@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint bench bench-all verify
+.PHONY: build test lint bench bench-all verify fuzz-corpus golden-update
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,17 @@ bench:
 bench-all:
 	$(GO) test -bench . -benchmem ./...
 
-# Full pre-merge check: vet + atomlint + build + tests + race and fuzz
-# smokes.
+# Full pre-merge check: vet + atomlint + build + tests + race smokes
+# (including the fault-injection harness) + coverage floors + fuzz
+# smokes. Coverage profiles land in coverage/.
 verify:
 	sh scripts/verify.sh
+
+# Regenerate the checked-in fuzz seed corpora from faultgen-damaged
+# archives (deterministic; see scripts/fuzzcorpus.go).
+fuzz-corpus:
+	$(GO) run scripts/fuzzcorpus.go
+
+# Re-pin the golden end-to-end fixture (testdata/golden/).
+golden-update:
+	$(GO) test -run TestGolden -update .

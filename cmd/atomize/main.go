@@ -58,6 +58,8 @@ func main() {
 	lsp.End()
 
 	var warnings []bgpstream.Warning
+	var flaps map[uint32]int
+	var quarantined []string
 	if *updates != "" {
 		usp := o.Root.Child("updates")
 		paths, err := filepath.Glob(*updates)
@@ -74,6 +76,11 @@ func main() {
 			cli.Fatal(tool, err)
 		}
 		warnings = us.Warnings()
+		flaps = us.StateFlaps()
+		quarantined = us.Quarantined()
+		for _, name := range quarantined {
+			fmt.Fprintf(os.Stderr, "%s: warning: update archive %q quarantined (degradation budget exceeded)\n", tool, name)
+		}
 		// An archive that matched the glob but decoded nothing
 		// contributes no warnings — and therefore silently weakens the
 		// §A8.3 abnormal-peer detection. Surface it.
@@ -99,6 +106,13 @@ func main() {
 	opts.Workers = *workers
 	opts.Span = o.Root
 	opts.Metrics = o.Registry
+	opts.SessionFlaps = flaps
+	if len(quarantined) > 0 {
+		opts.QuarantinedCollectors = map[string]bool{}
+		for _, name := range quarantined {
+			opts.QuarantinedCollectors[name] = true
+		}
+	}
 	snap, rep, err := sanitize.Clean(sources, warnings, opts)
 	if err != nil {
 		cli.Fatal(tool, err)
@@ -122,6 +136,9 @@ func main() {
 	tbl.AddRow("99th pct atom size", fmt.Sprint(st.P99AtomSize))
 	tbl.AddRow("Largest atom", fmt.Sprint(st.LargestAtom))
 	tbl.AddRow("MOAS prefixes", fmt.Sprintf("%d (%.2f%%)", st.MOASPrefixes, 100*float64(st.MOASPrefixes)/float64(max(1, st.Prefixes))))
+	if len(rep.QuarantinedCollectors) > 0 {
+		tbl.AddRow("Quarantined collectors", fmt.Sprintf("%d (%d feeds)", len(rep.QuarantinedCollectors), rep.QuarantinedFeeds))
+	}
 	tbl.Render(os.Stdout)
 
 	if len(rep.RemovedPeerASes) > 0 {

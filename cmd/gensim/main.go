@@ -9,6 +9,12 @@
 // Writes one <collector>.rib.mrt and one <collector>.updates.mrt file
 // per simulated collector. Output depends only on (-seed, -scale,
 // -year, -quarter); -workers trades wall-clock for cores.
+//
+// With -faults, gensim additionally writes seeded-corrupt copies of
+// every archive under <out>/faulted/, plus faults.schedule — the
+// canonical fault plan (see internal/faultgen). The damaged set depends
+// only on (-fault-seed, the clean archives, the class list), so a
+// failing downstream run is reproducible from the flags alone.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/collector"
+	"repro/internal/faultgen"
 	"repro/internal/longitudinal"
 	"repro/internal/topology"
 
@@ -35,6 +42,9 @@ func main() {
 		seed      = flag.Uint64("seed", 7, "simulation seed")
 		hours     = flag.Float64("update-hours", 4, "hours of updates after the snapshot")
 		artifacts = flag.Bool("artifacts", true, "inject the paper's data defects (ADD-PATH, AS65000, duplicates)")
+		faults    = flag.String("faults", "", "also emit fault-injected archives: comma-separated class list, or \"all\"")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault schedule seed (independent of -seed)")
+		faultsPer = flag.Int("faults-per-archive", 1, "faults of each class planned per archive")
 	)
 	workers := cli.NewWorkers()
 	o := cli.NewObs(tool)
@@ -59,12 +69,14 @@ func main() {
 	ts := collector.EpochOf(era)
 	ov := r.Model.OverlayAt(r.Graph, longitudinal.OffsetBase, r.Infra.FullFeedASNs())
 	snap := collector.BuildRIBs(r.Graph, r.Infra, ov, ts)
+	archives := make(map[string][]byte)
 	total := 0
 	for name, data := range snap.Archives {
 		path := filepath.Join(*out, name+".rib.mrt")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			cli.Fatal(tool, err)
 		}
+		archives[name+".rib.mrt"] = data
 		total += len(data)
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
 	}
@@ -88,6 +100,7 @@ func main() {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			cli.Fatal(tool, err)
 		}
+		archives[name+".updates.mrt"] = data
 		total += len(data)
 		updateBytes += len(data)
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
@@ -95,6 +108,47 @@ func main() {
 	usp.SetAttr("archives", len(updates))
 	usp.SetAttr("bytes", updateBytes)
 	usp.End()
+
+	if *faults != "" {
+		classes, err := faultgen.ParseClasses(*faults)
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		fsp := o.Root.Child("inject_faults")
+		sched, err := faultgen.Plan(faultgen.Config{
+			Seed:             *faultSeed,
+			Classes:          classes,
+			FaultsPerArchive: *faultsPer,
+		}, archives)
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		damaged, err := faultgen.Apply(sched, archives)
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		fdir := filepath.Join(*out, "faulted")
+		if err := os.MkdirAll(fdir, 0o755); err != nil {
+			cli.Fatal(tool, err)
+		}
+		faultBytes := 0
+		for name, data := range damaged {
+			path := filepath.Join(fdir, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				cli.Fatal(tool, err)
+			}
+			faultBytes += len(data)
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+		}
+		schedPath := filepath.Join(fdir, "faults.schedule")
+		if err := os.WriteFile(schedPath, sched.Marshal(), 0o644); err != nil {
+			cli.Fatal(tool, err)
+		}
+		fmt.Printf("wrote %s (%d faults)\n", schedPath, len(sched.Faults))
+		fsp.SetAttr("faults", len(sched.Faults))
+		fsp.SetAttr("bytes", faultBytes)
+		fsp.End()
+	}
 
 	v4, v6 := r.Graph.TotalPrefixes()
 	fmt.Printf("era %v: %d ASes, %d v4 + %d v6 prefixes, %d collectors, %d full feeds, %d bytes total\n",

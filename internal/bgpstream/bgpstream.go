@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 
 	"repro/internal/aspath"
 	"repro/internal/bgp"
@@ -87,6 +88,14 @@ const (
 	WarnBGPHeader         = "bgp-header"
 	WarnUpdateParse       = "update-parse"
 	WarnAddPathSuspect    = "addpath-suspect"
+	WarnResync            = "resync"
+	WarnQuarantine        = "source-quarantined"
+	// WarnSequenceGap flags a TABLE_DUMP_V2 RIB sequence number that is
+	// not the successor of the previous record's — evidence of a missing
+	// shard, a duplicated record, or reordering. The record itself is
+	// still consumed; the warning is the signal that data around it was
+	// lost or rearranged.
+	WarnSequenceGap = "rib-sequence-gap"
 )
 
 // Warning records a record- or message-level parse problem.
@@ -187,6 +196,24 @@ type Stream struct {
 	warnings  []Warning
 	elemCount []int // per-source emitted elements (pre-filter)
 
+	// Degradation accounting: per-source decoded/skipped record counts
+	// and resync totals feed the quarantine decision (SetDegradation).
+	srcRecords  []int
+	srcSkipped  []int
+	srcResyncs  []int
+	resyncsLeft int
+	degradeMin  int
+	degradeMax  float64
+	quarantined map[string]bool
+	stateFlaps  map[uint32]int
+
+	// RIB sequence tracking (per source): TABLE_DUMP_V2 writers emit
+	// strictly consecutive sequence numbers, so a jump between decoded
+	// records means records were lost, duplicated, or reordered even
+	// when every surviving record parses cleanly.
+	ribSeqNext  uint32
+	ribSeqValid bool
+
 	// Decode scratch, reused across records: parsed attribute payloads
 	// are deduped through attrCache (archives repeat a small set of
 	// distinct paths/next-hops/communities), and msg/upd/ribAttrs absorb
@@ -211,8 +238,99 @@ type Stream struct {
 func NewStream(filter *Filter, sources ...Source) *Stream {
 	return &Stream{
 		sources: sources, filter: filter,
-		elemCount: make([]int, len(sources)), sourceForCtr: -1,
-		attrCache: bgp.NewAttrCache(),
+		elemCount:  make([]int, len(sources)),
+		srcRecords: make([]int, len(sources)),
+		srcSkipped: make([]int, len(sources)),
+		srcResyncs: make([]int, len(sources)),
+		degradeMin: DefaultDegradeMinRecords, degradeMax: DefaultDegradeMaxSkipRatio,
+		sourceForCtr: -1,
+		attrCache:    bgp.NewAttrCache(),
+	}
+}
+
+// Degradation-budget defaults: a source is quarantined when, having
+// produced at least DefaultDegradeMinRecords records (decoded plus
+// skipped), more than DefaultDegradeMaxSkipRatio of them were skipped.
+// Small archives never qualify, so a short truncated tail does not
+// condemn a feed.
+const (
+	DefaultDegradeMinRecords   = 16
+	DefaultDegradeMaxSkipRatio = 0.3
+	// maxResyncsPerSource bounds boundary recovery: a source that keeps
+	// losing framing is abandoned rather than scanned forever.
+	maxResyncsPerSource = 8
+	// maxResyncScan bounds each forward scan for a plausible header.
+	maxResyncScan = 1 << 20
+)
+
+// SetDegradation overrides the per-source degradation budget. A source
+// whose skip ratio exceeds maxSkipRatio after at least minRecords
+// records is quarantined: its collector lands in Quarantined() and a
+// bgpstream.source_quarantined counter fires. minRecords <= 0 disables
+// quarantine entirely.
+func (s *Stream) SetDegradation(minRecords int, maxSkipRatio float64) {
+	s.degradeMin = minRecords
+	s.degradeMax = maxSkipRatio
+}
+
+// Quarantined returns the collectors whose sources blew their
+// degradation budget, sorted. Complete only once the stream has
+// drained (budgets are judged when each source ends).
+func (s *Stream) Quarantined() []string {
+	out := make([]string, 0, len(s.quarantined))
+	for name := range s.quarantined {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StateFlaps returns, per peer ASN, how many BGP state-change elements
+// the stream decoded — the raw session-flap signal sanitize's
+// flap-storm filter consumes. Complete once the stream has drained.
+func (s *Stream) StateFlaps() map[uint32]int { return s.stateFlaps }
+
+// SourceStat summarizes one collector's degradation accounting.
+type SourceStat struct {
+	Records int // records decoded
+	Skipped int // records (or RIB entries) skipped with a warning
+	Resyncs int // boundary recoveries
+}
+
+// SourceStats returns per-collector degradation accounting, summed
+// across sources sharing a collector name.
+func (s *Stream) SourceStats() map[string]SourceStat {
+	out := make(map[string]SourceStat, len(s.sources))
+	for i, src := range s.sources {
+		st := out[src.Collector]
+		st.Records += s.srcRecords[i]
+		st.Skipped += s.srcSkipped[i]
+		st.Resyncs += s.srcResyncs[i]
+		out[src.Collector] = st
+	}
+	return out
+}
+
+// finishSource judges source i's degradation budget as it ends.
+func (s *Stream) finishSource(i int) {
+	total := s.srcRecords[i] + s.srcSkipped[i]
+	if s.degradeMin <= 0 || total < s.degradeMin {
+		return
+	}
+	if float64(s.srcSkipped[i])/float64(total) <= s.degradeMax {
+		return
+	}
+	name := s.sources[i].Collector
+	if s.quarantined == nil {
+		s.quarantined = make(map[string]bool)
+	}
+	if !s.quarantined[name] {
+		s.quarantined[name] = true
+		s.warn(0, 0, WarnQuarantine, fmt.Sprintf(
+			"source quarantined: %d/%d records skipped", s.srcSkipped[i], total))
+		if s.metrics != nil {
+			s.metrics.Counter("bgpstream.source_quarantined", "collector", name).Inc()
+		}
 	}
 }
 
@@ -224,6 +342,8 @@ func NewStream(filter *Filter, sources ...Source) *Stream {
 //	bgpstream.source_elems{collector=...}      per-collector elements
 //	bgpstream.records_skipped{reason=...}      records dropped with a warning
 //	bgpstream.warnings{reason=...,subtype=N}   warnings by code and subtype
+//	bgpstream.resyncs / bgpstream.resync_bytes boundary recoveries after corruption
+//	bgpstream.source_quarantined{collector=C}  degradation budget exceeded
 //
 // A nil registry (the default) disables all of it at near-zero cost.
 func (s *Stream) SetMetrics(r *obs.Registry) {
@@ -291,22 +411,42 @@ func (s *Stream) Next() (Elem, error) {
 			// every record the same body buffer.
 			s.reader.SetReuseBuffer(true)
 			s.peers = nil
+			s.resyncsLeft = maxResyncsPerSource
+			s.ribSeqValid = false
 		}
 		rec, err := s.reader.Next()
 		if err == io.EOF {
+			s.finishSource(s.cur)
 			s.reader = nil
 			s.cur++
 			continue
 		}
 		if err != nil {
-			// A corrupt record boundary is unrecoverable within the
-			// source; warn and move on to the next source.
+			// A corrupt record boundary: warn, then scan forward for the
+			// next plausible MRT header instead of abandoning the file. A
+			// source that keeps losing framing exhausts its resync budget
+			// and is dropped.
 			s.warn(0, 0, WarnRecordError, fmt.Sprintf("record error: %v", err))
+			if s.resyncsLeft > 0 {
+				s.resyncsLeft--
+				skipped, rerr := s.reader.Resync(maxResyncScan)
+				if rerr == nil {
+					s.srcResyncs[s.cur]++
+					s.warn(0, 0, WarnResync, fmt.Sprintf("resynchronized after %d bytes", skipped))
+					if s.metrics != nil {
+						s.metrics.Counter("bgpstream.resyncs").Inc()
+						s.metrics.Counter("bgpstream.resync_bytes").Add(int64(skipped))
+					}
+					continue
+				}
+			}
+			s.finishSource(s.cur)
 			s.reader = nil
 			s.cur++
 			continue
 		}
 		s.recordsC.Inc()
+		s.srcRecords[s.cur]++
 		s.decode(rec)
 	}
 }
@@ -334,11 +474,17 @@ func (s *Stream) warn(peerASN uint32, subtype uint16, code, reason string) {
 		Code:      code,
 		Reason:    reason,
 	})
+	// Every warning except the ADD-PATH heuristic and the resync /
+	// quarantine notices means the record (or RIB entry) it covers was
+	// skipped; skips count against the source's degradation budget.
+	skip := code != WarnAddPathSuspect && code != WarnResync && code != WarnQuarantine &&
+		code != WarnSequenceGap
+	if skip {
+		s.srcSkipped[s.cur]++
+	}
 	if s.metrics != nil {
 		s.metrics.Counter("bgpstream.warnings", "reason", code, "subtype", fmt.Sprint(subtype)).Inc()
-		if code != WarnAddPathSuspect {
-			// Every warning except the ADD-PATH heuristic means the
-			// record (or RIB entry) it covers was skipped.
+		if skip {
 			s.metrics.Counter("bgpstream.records_skipped", "reason", code).Inc()
 		}
 	}
@@ -362,6 +508,11 @@ func (s *Stream) decode(rec mrt.Record) {
 				s.warn(0, rec.Subtype, WarnRIBRecord, fmt.Sprintf("RIB record: %v", err))
 				return
 			}
+			if s.ribSeqValid && rib.Sequence != s.ribSeqNext {
+				s.warn(0, rec.Subtype, WarnSequenceGap,
+					fmt.Sprintf("RIB sequence %d, expected %d: records lost, duplicated, or reordered", rib.Sequence, s.ribSeqNext))
+			}
+			s.ribSeqNext, s.ribSeqValid = rib.Sequence+1, true
 			s.msgIndex++
 			for _, entry := range rib.Entries {
 				if int(entry.PeerIndex) >= len(s.peers) {
@@ -398,6 +549,10 @@ func (s *Stream) decode(rec mrt.Record) {
 				return
 			}
 			s.msgIndex++
+			if s.stateFlaps == nil {
+				s.stateFlaps = make(map[uint32]int)
+			}
+			s.stateFlaps[sc.PeerAS]++
 			s.emit(Elem{
 				Type: ElemState, Timestamp: rec.Timestamp, Collector: src.Collector,
 				PeerAddr: sc.PeerAddr, PeerASN: sc.PeerAS,

@@ -1,0 +1,119 @@
+// FuzzReadRecord lives in an external test package so it can seed the
+// corpus with faultgen-damaged archives (faultgen imports mrt; an
+// in-package test would be an import cycle).
+package mrt_test
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+
+	"repro/internal/faultgen"
+	"repro/internal/mrt"
+)
+
+// fuzzCleanArchive builds a small parseable archive: PIT, RIB records,
+// and BGP4MP messages — every record family the resync scanner locks
+// onto.
+func fuzzCleanArchive(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	pit := &mrt.PeerIndexTable{
+		CollectorID: netip.MustParseAddr("198.51.100.1"),
+		Peers: []mrt.Peer{{
+			BGPID: netip.MustParseAddr("203.0.113.1"),
+			Addr:  netip.MustParseAddr("203.0.113.1"),
+			ASN:   65001,
+		}},
+	}
+	body, err := pit.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteRecord(mrt.Record{Timestamp: 1000, Type: mrt.TypeTableDumpV2, Subtype: mrt.SubPeerIndexTable, Body: body}); err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rib := &mrt.RIB{
+			Sequence: uint32(i),
+			Prefix:   netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16),
+			Entries:  []mrt.RIBEntry{{PeerIndex: 0, Originated: 1000}},
+		}
+		rb, err := rib.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w.WriteRecord(mrt.Record{Timestamp: 1000, Type: mrt.TypeTableDumpV2, Subtype: rib.Subtype(), Body: rb}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	m := &mrt.Message{
+		PeerAS: 65001, LocalAS: 65002,
+		PeerAddr:  netip.MustParseAddr("203.0.113.1"),
+		LocalAddr: netip.MustParseAddr("203.0.113.2"),
+		AS4:       true, Data: []byte{1, 2, 3, 4},
+	}
+	mb, err := m.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteRecord(mrt.Record{Timestamp: 1004, Type: mrt.TypeBGP4MP, Subtype: m.Subtype(), Body: mb}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadRecord drives the reader's skip-and-resync loop — the exact
+// loop bgpstream runs on a damaged source. Properties: no panic, the
+// loop always terminates within the resync budget, and a record stream
+// never yields more records than the input could physically frame.
+func FuzzReadRecord(f *testing.F) {
+	clean := fuzzCleanArchive(f)
+	f.Add(clean)
+	archives := map[string][]byte{"seed": clean}
+	for _, class := range faultgen.AllClasses() {
+		sched, err := faultgen.Plan(faultgen.Config{Seed: 5, Classes: []faultgen.Class{class}}, archives)
+		if err != nil {
+			f.Fatal(err)
+		}
+		damaged, err := faultgen.Apply(sched, archives)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(damaged["seed"])
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Add(append(bytes.Repeat([]byte{0x00}, 17), clean...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := mrt.NewReader(bytes.NewReader(data))
+		records, resyncs := 0, 0
+		for {
+			_, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if resyncs >= 8 {
+					break
+				}
+				resyncs++
+				if _, rerr := rd.Resync(1 << 16); rerr != nil {
+					break
+				}
+				continue
+			}
+			records++
+			// Every record consumes at least a 12-byte header.
+			if records > len(data)/12+1 {
+				t.Fatalf("%d records framed out of %d bytes", records, len(data))
+			}
+		}
+	})
+}

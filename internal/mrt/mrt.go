@@ -216,6 +216,69 @@ func (r *Reader) Next() (Record, error) {
 	return rec, nil
 }
 
+// PlausibleHeader reports whether hdr (at least headerLen bytes) looks
+// like the start of an MRT record this package can read: a known type, a
+// subtype defined for that type, and a body length under the sanity
+// cap. Used by Resync to find a record boundary in a damaged stream;
+// the 8 validated header bytes make a false lock on arbitrary payload
+// bytes unlikely (and a false lock only costs one more resync).
+func PlausibleHeader(hdr []byte) bool {
+	if len(hdr) < headerLen {
+		return false
+	}
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	sub := binary.BigEndian.Uint16(hdr[6:8])
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > maxRecordLength {
+		return false
+	}
+	switch typ {
+	case TypeTableDumpV2:
+		return sub >= SubPeerIndexTable && sub <= SubRIBIPv6MulticastAP && sub != 7
+	case TypeBGP4MP, TypeBGP4MPET:
+		return sub <= SubMessageAS4LocAP && sub != 2 && sub != 3
+	}
+	return false
+}
+
+// Resync recovers a stream after Next returned an error: it scans
+// forward, one byte at a time, for the next plausible MRT record header
+// and stops with the reader positioned on it (the following Next reads
+// that record). It consumes at most maxScan bytes; maxScan <= 0 uses a
+// 1 MiB default. Returns the number of bytes discarded. The error is
+// io.EOF when the stream ends before a header is found, or ErrTruncated
+// when the scan budget runs out — in both cases the source should be
+// abandoned.
+func (r *Reader) Resync(maxScan int) (int, error) {
+	if maxScan <= 0 {
+		maxScan = 1 << 20
+	}
+	skipped := 0
+	for {
+		hdr, err := r.r.Peek(headerLen)
+		if len(hdr) < headerLen {
+			// Fewer than 12 bytes left: no record can start here. Drain
+			// the tail so a subsequent Next reports clean EOF.
+			d, _ := r.r.Discard(len(hdr))
+			skipped += d
+			if err == nil || err == io.EOF || err == bufio.ErrBufferFull {
+				return skipped, io.EOF
+			}
+			return skipped, fmt.Errorf("%w: resync: %v", ErrTruncated, err)
+		}
+		if PlausibleHeader(hdr) {
+			return skipped, nil
+		}
+		if skipped >= maxScan {
+			return skipped, fmt.Errorf("%w: no record boundary within %d bytes", ErrTruncated, maxScan)
+		}
+		if _, err := r.r.Discard(1); err != nil {
+			return skipped, io.EOF
+		}
+		skipped++
+	}
+}
+
 // ReadAll drains the reader, returning every record.
 func ReadAll(rd io.Reader) ([]Record, error) {
 	r := NewReader(rd)

@@ -1,0 +1,147 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+// resyncRecord builds one parseable TABLE_DUMP_V2 RIB record.
+func resyncRecord(t *testing.T, seq uint32) Record {
+	t.Helper()
+	rib := &RIB{
+		Sequence: seq,
+		Prefix:   netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(seq), 0, 0}), 16),
+		Entries:  []RIBEntry{{PeerIndex: 0, Originated: 1000}},
+	}
+	body, err := rib.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Record{Timestamp: 1000 + seq, Type: TypeTableDumpV2, Subtype: rib.Subtype(), Body: body}
+}
+
+func marshalRecords(t *testing.T, recs ...Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestResyncAfterGarbage(t *testing.T) {
+	r1 := resyncRecord(t, 1)
+	r2 := resyncRecord(t, 2)
+	var stream []byte
+	stream = append(stream, marshalRecords(t, r1)...)
+	// 20 bytes of garbage whose fake header claims an absurd length, so
+	// Next errors instead of mistaking it for an unknown-type record.
+	stream = append(stream, bytes.Repeat([]byte{0xff}, 20)...)
+	stream = append(stream, marshalRecords(t, r2)...)
+
+	rd := NewReader(bytes.NewReader(stream))
+	got, err := rd.Next()
+	if err != nil || got.Timestamp != r1.Timestamp {
+		t.Fatalf("first record: %+v, %v", got, err)
+	}
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("garbage did not error")
+	}
+	skipped, err := rd.Resync(0)
+	if err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+	// Next consumed 12 garbage bytes as a header; 8 remained to scan.
+	if skipped != 8 {
+		t.Errorf("skipped %d bytes, want 8", skipped)
+	}
+	got, err = rd.Next()
+	if err != nil || got.Timestamp != r2.Timestamp || !bytes.Equal(got.Body, r2.Body) {
+		t.Fatalf("post-resync record: %+v, %v", got, err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("tail: %v, want EOF", err)
+	}
+}
+
+func TestResyncAtEOF(t *testing.T) {
+	r1 := resyncRecord(t, 1)
+	r2 := resyncRecord(t, 2)
+	stream := marshalRecords(t, r1, r2)
+	// Truncate the final record mid-body: Next consumes the partial tail
+	// while failing, so Resync finds a drained stream.
+	stream = stream[:len(stream)-3]
+
+	rd := NewReader(bytes.NewReader(stream))
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated record: %v, want ErrTruncated", err)
+	}
+	if _, err := rd.Resync(0); err != io.EOF {
+		t.Fatalf("Resync on drained stream: %v, want io.EOF", err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("Next after failed resync: %v, want io.EOF", err)
+	}
+}
+
+func TestResyncScanBudget(t *testing.T) {
+	// A bogus header with an absurd length followed by zeros only: no
+	// plausible header anywhere, and more bytes than the scan budget.
+	stream := bytes.Repeat([]byte{0xff}, 12)
+	stream = append(stream, make([]byte, 64)...)
+
+	rd := NewReader(bytes.NewReader(stream))
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("bogus header did not error")
+	}
+	skipped, err := rd.Resync(16)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Resync: skipped=%d err=%v, want ErrTruncated", skipped, err)
+	}
+	if skipped < 16 {
+		t.Errorf("gave up after %d bytes, want >= 16", skipped)
+	}
+}
+
+func TestPlausibleHeader(t *testing.T) {
+	mk := func(typ, sub uint16, length uint32) []byte {
+		b := make([]byte, headerLen)
+		b[4], b[5] = byte(typ>>8), byte(typ)
+		b[6], b[7] = byte(sub>>8), byte(sub)
+		b[8], b[9], b[10], b[11] = byte(length>>24), byte(length>>16), byte(length>>8), byte(length)
+		return b
+	}
+	cases := []struct {
+		name string
+		hdr  []byte
+		want bool
+	}{
+		{"rib v4", mk(TypeTableDumpV2, SubRIBIPv4Unicast, 100), true},
+		{"peer index", mk(TypeTableDumpV2, SubPeerIndexTable, 100), true},
+		{"bgp4mp message", mk(TypeBGP4MP, SubMessageAS4, 100), true},
+		{"bgp4mp et addpath", mk(TypeBGP4MPET, SubMessageAS4AP, 100), true},
+		{"unknown type", mk(99, 1, 100), false},
+		{"bad td2 subtype", mk(TypeTableDumpV2, 200, 100), false},
+		{"bad bgp4mp subtype", mk(TypeBGP4MP, 2, 100), false},
+		{"absurd length", mk(TypeTableDumpV2, SubRIBIPv4Unicast, 1<<30), false},
+		{"short header", mk(TypeTableDumpV2, SubRIBIPv4Unicast, 100)[:8], false},
+		{"all zero", make([]byte, headerLen), false},
+	}
+	for _, c := range cases {
+		if got := PlausibleHeader(c.hdr); got != c.want {
+			t.Errorf("%s: PlausibleHeader = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

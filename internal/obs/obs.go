@@ -318,6 +318,16 @@ func (r *Registry) Snapshot() *MetricsSnapshot {
 	return s
 }
 
+// CounterValue returns the snapshot's value for the counter under its
+// canonical key (obs.Key), or 0 if the counter never fired. Nil-safe,
+// so assertions can read a snapshot without checking registry wiring.
+func (m *MetricsSnapshot) CounterValue(name string, labels ...string) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.Counters[Key(name, labels...)]
+}
+
 // Reset drops every instrument. Existing instrument pointers held by
 // callers keep working but are no longer reachable from the registry.
 func (r *Registry) Reset() {

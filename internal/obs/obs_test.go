@@ -262,3 +262,26 @@ func TestFormatCount(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterValue(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reads", "src", "rrc00").Add(5)
+	reg.Counter("writes").Add(2)
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("reads", "src", "rrc00"); got != 5 {
+		t.Errorf("labeled CounterValue = %d, want 5", got)
+	}
+	if got := snap.CounterValue("writes"); got != 2 {
+		t.Errorf("plain CounterValue = %d, want 2", got)
+	}
+	if got := snap.CounterValue("reads"); got != 0 {
+		t.Errorf("label-less lookup of labeled counter = %d, want 0", got)
+	}
+	if got := snap.CounterValue("absent"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+	var nilSnap *MetricsSnapshot
+	if got := nilSnap.CounterValue("reads"); got != 0 {
+		t.Errorf("nil snapshot CounterValue = %d, want 0", got)
+	}
+}

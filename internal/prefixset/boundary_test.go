@@ -1,0 +1,120 @@
+package prefixset
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// Boundary prefixes: the default route, host routes in both families,
+// duplicate inserts, and lookups against empty structures. These are
+// the lengths most likely to hit off-by-one bit walks.
+func TestSetBoundaryLengths(t *testing.T) {
+	cases := []netip.Prefix{
+		netip.MustParsePrefix("0.0.0.0/0"),
+		netip.MustParsePrefix("203.0.113.7/32"),
+		netip.MustParsePrefix("::/0"),
+		netip.MustParsePrefix("2001:db8::1/128"),
+	}
+	s := NewSet()
+	for _, p := range cases {
+		s.Add(p)
+		if !s.Contains(p) {
+			t.Errorf("Set lost %v right after Add", p)
+		}
+	}
+	if s.Len() != len(cases) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(cases))
+	}
+	// Duplicate inserts are idempotent.
+	for _, p := range cases {
+		s.Add(p)
+	}
+	if s.Len() != len(cases) {
+		t.Errorf("duplicate Add changed Len to %d", s.Len())
+	}
+	// The v4 default must not shadow the v6 default or vice versa.
+	s2 := NewSet(netip.MustParsePrefix("0.0.0.0/0"))
+	if s2.Contains(netip.MustParsePrefix("::/0")) {
+		t.Error("v4 default route matched the v6 default")
+	}
+}
+
+func TestTrieBoundaryLengths(t *testing.T) {
+	var tr Trie
+	def4 := netip.MustParsePrefix("0.0.0.0/0")
+	host4 := netip.MustParsePrefix("203.0.113.7/32")
+	def6 := netip.MustParsePrefix("::/0")
+	host6 := netip.MustParsePrefix("2001:db8::1/128")
+
+	for _, p := range []netip.Prefix{def4, host4, def6, host6} {
+		if !tr.Insert(p) {
+			t.Fatalf("Insert(%v) = false on first insert", p)
+		}
+		if tr.Insert(p) {
+			t.Errorf("Insert(%v) = true on duplicate", p)
+		}
+		if !tr.Contains(p) {
+			t.Errorf("Contains(%v) = false after insert", p)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+
+	// A /0 covers every prefix of its family — and only its family.
+	if got, ok := tr.LongestMatch(netip.MustParsePrefix("10.0.0.0/8")); !ok || got != def4 {
+		t.Errorf("LongestMatch(10/8) = %v, %v; want 0.0.0.0/0", got, ok)
+	}
+	if got, ok := tr.LongestMatch(netip.MustParsePrefix("2001:db8::/32")); !ok || got != def6 {
+		t.Errorf("LongestMatch(2001:db8::/32) = %v, %v; want ::/0", got, ok)
+	}
+	// A /32 host route wins over the default for its own address.
+	if got, ok := tr.LongestMatch(host4); !ok || got != host4 {
+		t.Errorf("LongestMatch(host4) = %v, %v", got, ok)
+	}
+	// /32 in v4 and /128 in v6 must not bleed into each other's family
+	// even though both are "full-length".
+	if tr.Contains(netip.MustParsePrefix("::cb00:7107/128")) {
+		t.Error("v4-mapped-looking v6 host matched the v4 host route")
+	}
+	// Covers from the default route enumerates the family.
+	cov := tr.Covers(def4)
+	if len(cov) != 2 || cov[0] != def4 || cov[1] != host4 {
+		t.Errorf("Covers(0/0) = %v, want [0.0.0.0/0 203.0.113.7/32]", cov)
+	}
+}
+
+func TestEmptyLookups(t *testing.T) {
+	var tr Trie
+	empty := NewSet()
+	p := netip.MustParsePrefix("10.0.0.0/8")
+
+	if empty.Contains(p) {
+		t.Error("empty Set contained a prefix")
+	}
+	if empty.Len() != 0 {
+		t.Error("empty Set nonzero length")
+	}
+	if tr.Contains(p) {
+		t.Error("empty Trie contained a prefix")
+	}
+	if _, ok := tr.LongestMatch(p); ok {
+		t.Error("empty Trie produced a longest match")
+	}
+	if tr.CoveredBy(p) {
+		t.Error("empty Trie covered a prefix")
+	}
+	if got := tr.Covers(p); got != nil {
+		t.Errorf("empty Trie Covers = %v", got)
+	}
+	if got := tr.All(); len(got) != 0 {
+		t.Errorf("empty Trie All = %v", got)
+	}
+	// Invalid prefixes are rejected, not stored.
+	if tr.Insert(netip.Prefix{}) {
+		t.Error("invalid prefix inserted")
+	}
+	if empty.Contains(netip.Prefix{}) {
+		t.Error("empty Set contains invalid prefix")
+	}
+}

@@ -8,6 +8,8 @@
 package sanitize
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"net/netip"
 	"sort"
@@ -42,6 +44,25 @@ type Options struct {
 	// DuplicateShare: a peer AS sending more than this share of its
 	// prefixes in duplicate is removed (§2.4.4).
 	DuplicateShare float64
+	// MaxSessionFlaps: a peer AS whose BGP sessions flapped more than
+	// this many times across the update window is removed — a flapping
+	// session's RIB rows are stale snapshots of an unstable view. The
+	// counts come from SessionFlaps. 0 disables the filter.
+	MaxSessionFlaps int
+	// SessionFlaps carries per-peer-ASN state-change counts observed on
+	// the update streams (bgpstream.Stream.StateFlaps).
+	SessionFlaps map[uint32]int
+	// QuarantinedCollectors names feeds excluded wholesale before any
+	// other stage — sources whose degradation budget was blown
+	// (bgpstream.Stream.Quarantined). Clean merges its own RIB-stream
+	// quarantine into this set.
+	QuarantinedCollectors map[string]bool
+	// DegradationMinRecords / DegradationMaxSkipRatio configure the RIB
+	// stream's per-source degradation budget inside Clean. Zero values
+	// keep bgpstream's defaults; a negative DegradationMinRecords
+	// disables quarantine.
+	DegradationMinRecords   int
+	DegradationMaxSkipRatio float64
 	// KeepAllPrefixes reproduces Afek et al.'s 2002 methodology:
 	// no visibility thresholds, no length filter.
 	KeepAllPrefixes bool
@@ -73,6 +94,7 @@ func Defaults() Options {
 		MaxParseWarnings: 5,
 		PrivateASNShare:  0.05,
 		DuplicateShare:   0.10,
+		MaxSessionFlaps:  12,
 	}
 }
 
@@ -95,7 +117,14 @@ const (
 	RemovedAddPath    RemovalReason = "add-path parse errors"
 	RemovedPrivateASN RemovalReason = "private ASN in paths"
 	RemovedDuplicates RemovalReason = "excessive duplicate prefixes"
+	RemovedFlapStorm  RemovalReason = "session flap storm"
 )
+
+// ErrAllFeedsRemoved is returned when sanitization removes or
+// quarantines every feed that had any data: an empty snapshot would be
+// indistinguishable from a healthy era with nothing to show, so the
+// pipeline refuses to emit one.
+var ErrAllFeedsRemoved = errors.New("sanitize: all feeds removed or quarantined")
 
 // FeedStat describes one feed (collector, peer AS) before filtering.
 type FeedStat struct {
@@ -120,6 +149,13 @@ type Report struct {
 	FullFeeds int
 	// RemovedPeerASes maps peer ASN → reason (Table 5).
 	RemovedPeerASes map[uint32]RemovalReason
+	// QuarantinedCollectors lists collectors (sorted) whose feeds were
+	// excluded wholesale — the caller's quarantine set plus any source
+	// Clean's own RIB stream quarantined. Their feeds appear nowhere
+	// else in the report.
+	QuarantinedCollectors []string
+	// QuarantinedFeeds counts feeds dropped by the quarantine.
+	QuarantinedFeeds int
 	// Prefix funnel.
 	PrefixesSeen       int // distinct prefixes in full-feed data
 	PrefixesAdmitted   int // after length + visibility filters
@@ -165,6 +201,14 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 	}
 	stream := bgpstream.NewStream(filter, sources...)
 	stream.SetMetrics(opts.Metrics)
+	degradeMin, degradeMax := opts.DegradationMinRecords, opts.DegradationMaxSkipRatio
+	if degradeMin == 0 {
+		degradeMin = bgpstream.DefaultDegradeMinRecords
+	}
+	if degradeMax == 0 {
+		degradeMax = bgpstream.DefaultDegradeMaxSkipRatio
+	}
+	stream.SetDegradation(degradeMin, degradeMax)
 	for {
 		e, err := stream.Next()
 		if err == io.EOF {
@@ -213,6 +257,19 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 		}
 		return list[i].VP.ASN < list[j].VP.ASN
 	})
+	// Merge the RIB stream's own quarantine verdicts (degradation
+	// budgets blown while reading these archives) into the caller's set
+	// before the feed pipeline runs. Copy: opts is the caller's value.
+	if q := stream.Quarantined(); len(q) > 0 {
+		merged := make(map[string]bool, len(opts.QuarantinedCollectors)+len(q))
+		for name, v := range opts.QuarantinedCollectors {
+			merged[name] = v
+		}
+		for _, name := range q {
+			merged[name] = true
+		}
+		opts.QuarantinedCollectors = merged
+	}
 	sp.SetAttr("sources", len(sources))
 	sp.SetAttr("rib_elems", elems)
 	sp.SetAttr("feeds", len(list))
@@ -226,6 +283,43 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	defer sp.End()
 	reg := opts.Metrics
 	rep := &Report{RemovedPeerASes: map[uint32]RemovalReason{}}
+	// Remember whether any input feed carried routes: the
+	// all-feeds-removed gate below distinguishes "filters ate real data"
+	// (an error) from "there was nothing to see" (a legal empty era).
+	hadData := false
+	for _, f := range list {
+		if len(f.Routes) > 0 {
+			hadData = true
+			break
+		}
+	}
+	// Quarantine: feeds from collectors whose sources blew their
+	// degradation budget are excluded wholesale before any other stage —
+	// the same mechanism as abnormal-peer removal, one level up. Their
+	// stats appear nowhere else in the report.
+	if len(opts.QuarantinedCollectors) > 0 {
+		kept := make([]*Feed, 0, len(list))
+		for _, f := range list {
+			if opts.QuarantinedCollectors[f.VP.Collector] {
+				rep.QuarantinedFeeds++
+				if reg != nil {
+					reg.Counter("sanitize.vp_dropped", "vp", f.VP.String(), "cause", "quarantined").Inc()
+				}
+				continue
+			}
+			kept = append(kept, f)
+		}
+		list = kept
+		names := make([]string, 0, len(opts.QuarantinedCollectors))
+		for name := range opts.QuarantinedCollectors {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		rep.QuarantinedCollectors = names
+		if reg != nil {
+			reg.Counter("sanitize.quarantined_feeds").Add(int64(rep.QuarantinedFeeds))
+		}
+	}
 	table := aspath.NewTable()
 
 	stage := sp.Child("intern")
@@ -301,6 +395,18 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	for asn, n := range warnByPeer {
 		if n > opts.MaxParseWarnings {
 			rep.RemovedPeerASes[asn] = RemovedAddPath
+		}
+	}
+
+	// Session flap storms: a peer whose sessions bounced more than
+	// MaxSessionFlaps times across the update window holds a RIB that is
+	// a stale snapshot of an unstable view; remove the peer AS exactly
+	// like the other abnormal-peer classes.
+	if opts.MaxSessionFlaps > 0 {
+		for asn, n := range opts.SessionFlaps {
+			if n > opts.MaxSessionFlaps {
+				rep.RemovedPeerASes[asn] = RemovedFlapStorm
+			}
 		}
 	}
 
@@ -387,6 +493,17 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 	stage.SetAttr("full_feeds", rep.FullFeeds)
 	stage.SetAttr("vps", len(vpFeeds))
 	stage.End()
+
+	// Refuse to emit an empty snapshot when sanitization itself removed
+	// every feed that had data: downstream an empty era is
+	// indistinguishable from a healthy one with nothing to show. An era
+	// that was empty on arrival (or empty in the requested family, with
+	// no removals) still passes through.
+	if len(vpFeeds) == 0 && hadData &&
+		(rep.QuarantinedFeeds > 0 || len(rep.RemovedPeerASes) > 0) {
+		return nil, rep, fmt.Errorf("%w: %d feeds quarantined, %d peer ASes removed",
+			ErrAllFeedsRemoved, rep.QuarantinedFeeds, len(rep.RemovedPeerASes))
+	}
 	stage = sp.Child("admission")
 
 	// Prefix admission: length + visibility thresholds over VP feeds.

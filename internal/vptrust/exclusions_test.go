@@ -1,0 +1,92 @@
+package vptrust
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func vpAt(coll string, asn uint32) core.VP { return core.VP{Collector: coll, ASN: asn} }
+
+// Exclusions must union the split-based unreliable set with whole
+// quarantined collectors — a clean-scoring VP on a corrupt collector is
+// still excluded.
+func TestExclusionsMergesQuarantine(t *testing.T) {
+	var day []metrics.SplitEvent
+	// A flapper on c1 condemned by its own splits.
+	for i := 0; i < 20; i++ {
+		day = append(day, ev(vpAt("c1", 99)))
+	}
+	// Quiet VPs on c1 and c2.
+	for asn := uint32(1); asn <= 4; asn++ {
+		day = append(day, ev(vpAt("c1", asn)))
+		day = append(day, ev(vpAt("c2", asn)))
+	}
+	rep := Analyze([][]metrics.SplitEvent{day})
+
+	// No quarantine: only the flapper is out.
+	ex := rep.Exclusions(3, nil)
+	if len(ex) != 1 || !ex[vpAt("c1", 99)] {
+		t.Fatalf("Exclusions(3, nil) = %v, want only the flapper", ex)
+	}
+
+	// Quarantining c2 adds every c2-scored VP, flapper stays out too.
+	ex = rep.Exclusions(3, []string{"c2"})
+	if !ex[vpAt("c1", 99)] {
+		t.Error("flapper dropped from the merged exclusion set")
+	}
+	for asn := uint32(1); asn <= 4; asn++ {
+		if !ex[vpAt("c2", asn)] {
+			t.Errorf("quarantined-collector VP c2/%d not excluded", asn)
+		}
+		if ex[vpAt("c1", asn)] {
+			t.Errorf("healthy VP c1/%d excluded", asn)
+		}
+	}
+	if len(ex) != 5 {
+		t.Errorf("exclusion set size = %d, want 5", len(ex))
+	}
+
+	// Quarantining an unknown collector adds nothing.
+	ex = rep.Exclusions(3, []string{"nowhere"})
+	if len(ex) != 1 {
+		t.Errorf("unknown collector grew the set: %v", ex)
+	}
+}
+
+// Unreliable's floor: a VP needs strictly more than max(3, 3×median)
+// solo splits. Three solos must never condemn a VP even when the
+// median is zero.
+func TestUnreliableFloor(t *testing.T) {
+	var day []metrics.SplitEvent
+	for i := 0; i < 3; i++ {
+		day = append(day, ev(vp(7)))
+	}
+	// A silent majority of shared-only observers keeps the median at 0.
+	for i := 0; i < 10; i++ {
+		day = append(day, ev(vp(1), vp(2)))
+	}
+	rep := Analyze([][]metrics.SplitEvent{day})
+	if bad := rep.Unreliable(3); len(bad) != 0 {
+		t.Errorf("3 solo splits condemned a VP: %+v", bad)
+	}
+	// One more solo event crosses the floor.
+	day = append(day, ev(vp(7)))
+	rep = Analyze([][]metrics.SplitEvent{day})
+	if bad := rep.Unreliable(3); len(bad) != 1 || bad[0].VP != vp(7) {
+		t.Errorf("4 solo splits with zero median: unreliable = %+v", bad)
+	}
+}
+
+// Exclusions on an empty report is empty, with or without quarantine
+// (no scored VPs means no collector membership to project).
+func TestExclusionsEmptyReport(t *testing.T) {
+	rep := Analyze(nil)
+	if ex := rep.Exclusions(3, nil); len(ex) != 0 {
+		t.Errorf("empty report exclusions = %v", ex)
+	}
+	if ex := rep.Exclusions(3, []string{"c1"}); len(ex) != 0 {
+		t.Errorf("empty report with quarantine = %v", ex)
+	}
+}

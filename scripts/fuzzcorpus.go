@@ -1,0 +1,237 @@
+//go:build ignore
+
+// Command fuzzcorpus regenerates the checked-in fuzz seed corpora from
+// faultgen-damaged archives, so the fuzzers start from inputs shaped
+// like real collector damage instead of random bytes:
+//
+//	internal/mrt/testdata/fuzz/FuzzReadRecord    — whole damaged archives
+//	internal/mrt/testdata/fuzz/FuzzParseMessage  — BGP4MP bodies framed out of them
+//	internal/bgp/testdata/fuzz/FuzzParseUpdate   — bit-flipped UPDATE messages
+//
+// Run from the repo root:
+//
+//	go run scripts/fuzzcorpus.go
+//
+// Output is deterministic (fixed seeds, pure-hash mutations): rerunning
+// rewrites byte-identical files.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bgp"
+	"repro/internal/faultgen"
+	"repro/internal/mrt"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzcorpus:", err)
+	os.Exit(1)
+}
+
+// corpusEntry renders values in the `go test fuzz v1` corpus encoding.
+func corpusEntry(vals ...any) []byte {
+	var b bytes.Buffer
+	b.WriteString("go test fuzz v1\n")
+	for _, v := range vals {
+		switch x := v.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%q)\n", x)
+		case uint16:
+			fmt.Fprintf(&b, "uint16(%d)\n", x)
+		case bool:
+			fmt.Fprintf(&b, "bool(%v)\n", x)
+		default:
+			fatal(fmt.Errorf("unsupported corpus value type %T", v))
+		}
+	}
+	return b.Bytes()
+}
+
+func writeEntry(dir, name string, vals ...any) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), corpusEntry(vals...), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// cleanArchive builds the small parseable archive every damaged variant
+// starts from: PIT, RIB records, and BGP4MP messages.
+func cleanArchive() []byte {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	pit := &mrt.PeerIndexTable{
+		CollectorID: netip.MustParseAddr("198.51.100.1"),
+		Peers: []mrt.Peer{{
+			BGPID: netip.MustParseAddr("203.0.113.1"),
+			Addr:  netip.MustParseAddr("203.0.113.1"),
+			ASN:   65001,
+		}},
+	}
+	body, err := pit.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.WriteRecord(mrt.Record{Timestamp: 1000, Type: mrt.TypeTableDumpV2, Subtype: mrt.SubPeerIndexTable, Body: body}); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		rib := &mrt.RIB{
+			Sequence: uint32(i),
+			Prefix:   netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16),
+			Entries:  []mrt.RIBEntry{{PeerIndex: 0, Originated: 1000}},
+		}
+		rb, err := rib.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteRecord(mrt.Record{Timestamp: 1000, Type: mrt.TypeTableDumpV2, Subtype: rib.Subtype(), Body: rb}); err != nil {
+			fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		u, err := bgp.NewAnnouncement(
+			[]uint32{65001, 400000 + uint32(i)},
+			netip.MustParseAddr("10.0.0.1"),
+			[]netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, 2 + byte(i), 0}), 24)},
+		)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := u.Marshal(bgp.Options{AS4: true})
+		if err != nil {
+			fatal(err)
+		}
+		m := &mrt.Message{
+			PeerAS: 65001, LocalAS: 65002,
+			PeerAddr:  netip.MustParseAddr("203.0.113.1"),
+			LocalAddr: netip.MustParseAddr("203.0.113.2"),
+			AS4:       true, Data: data,
+		}
+		mb, err := m.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteRecord(mrt.Record{Timestamp: 1004 + uint32(i), Type: mrt.TypeBGP4MP, Subtype: m.Subtype(), Body: mb}); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// frameMessages walks an archive the way bgpstream does — Next with a
+// bounded Resync loop — and returns the BGP4MP (subtype, body) pairs it
+// frames, damaged or not.
+func frameMessages(data []byte) [][2]any {
+	var out [][2]any
+	rd := mrt.NewReader(bytes.NewReader(data))
+	resyncs := 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if resyncs >= 8 {
+				break
+			}
+			resyncs++
+			if _, rerr := rd.Resync(1 << 16); rerr != nil {
+				break
+			}
+			continue
+		}
+		if rec.Type == mrt.TypeBGP4MP || rec.Type == mrt.TypeBGP4MPET {
+			out = append(out, [2]any{rec.Subtype, append([]byte(nil), rec.Body...)})
+		}
+	}
+	return out
+}
+
+// flip deterministically flips one bit per step, a cheap stand-in for
+// the bit-flip fault class on a bare message.
+func flip(data []byte, steps int) []byte {
+	out := append([]byte(nil), data...)
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < steps && len(out) > 0; i++ {
+		h = (h ^ uint64(i)) * 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+		out[h%uint64(len(out))] ^= 1 << ((h >> 8) % 8)
+	}
+	return out
+}
+
+func main() {
+	readDir := filepath.Join("internal", "mrt", "testdata", "fuzz", "FuzzReadRecord")
+	msgDir := filepath.Join("internal", "mrt", "testdata", "fuzz", "FuzzParseMessage")
+	updDir := filepath.Join("internal", "bgp", "testdata", "fuzz", "FuzzParseUpdate")
+
+	clean := cleanArchive()
+	archives := map[string][]byte{"seed": clean}
+	writeEntry(readDir, "seed-clean", clean)
+
+	// One damaged archive per fault class: the archive itself seeds
+	// FuzzReadRecord; the message records framed out of it (including
+	// post-resync garbage framings) seed FuzzParseMessage.
+	for _, class := range faultgen.AllClasses() {
+		sched, err := faultgen.Plan(faultgen.Config{Seed: 11, Classes: []faultgen.Class{class}}, archives)
+		if err != nil {
+			fatal(err)
+		}
+		damaged, err := faultgen.Apply(sched, archives)
+		if err != nil {
+			fatal(err)
+		}
+		writeEntry(readDir, "seed-"+class.String(), damaged["seed"])
+		for i, sb := range frameMessages(damaged["seed"]) {
+			if i >= 2 {
+				break
+			}
+			writeEntry(msgDir, fmt.Sprintf("seed-%s-%d", class, i), sb[0], sb[1])
+		}
+	}
+
+	// UPDATE corpus: canonical messages plus bit-flipped variants under
+	// each session-option combination.
+	nh := netip.MustParseAddr("10.0.0.1")
+	ann, err := bgp.NewAnnouncement([]uint32{65001, 400000, 65003}, nh,
+		[]netip.Prefix{netip.MustParsePrefix("192.0.2.0/24"), netip.MustParsePrefix("198.51.100.0/25")})
+	if err != nil {
+		fatal(err)
+	}
+	ann.Attrs = append(ann.Attrs, bgp.MED(10), bgp.Communities{0x10001})
+	ann6, err := bgp.NewAnnouncement([]uint32{65001, 65002}, netip.MustParseAddr("2001:db8::1"),
+		[]netip.Prefix{netip.MustParsePrefix("2001:db8::/32")})
+	if err != nil {
+		fatal(err)
+	}
+	wd, err := bgp.NewWithdrawal([]netip.Prefix{netip.MustParsePrefix("198.51.100.0/25")})
+	if err != nil {
+		fatal(err)
+	}
+	opts := []bgp.Options{{}, {AS4: true}, {AS4: true, AddPath: true}}
+	for oi, opt := range opts {
+		for ui, u := range []*bgp.Update{ann, ann6, wd} {
+			msg, err := u.Marshal(opt)
+			if err != nil {
+				fatal(err)
+			}
+			writeEntry(updDir, fmt.Sprintf("seed-o%d-u%d", oi, ui), msg, opt.AS4, opt.AddPath)
+			for steps := 1; steps <= 3; steps++ {
+				writeEntry(updDir, fmt.Sprintf("seed-o%d-u%d-flip%d", oi, ui, steps),
+					flip(msg, steps), opt.AS4, opt.AddPath)
+			}
+		}
+	}
+	fmt.Println("fuzz corpora regenerated under internal/{mrt,bgp}/testdata/fuzz/")
+}

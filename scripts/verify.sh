@@ -2,11 +2,36 @@
 # verify.sh — the repo's full pre-merge check: vet, atomlint, build,
 # tests, a race-detector smoke of the concurrency-sensitive packages
 # (the obs instruments are lock-free atomics; bgpstream caches counters;
-# collector and routing fan work out to the pool), and short fuzz smokes
-# of the wire codecs. Run via `make verify` or directly.
+# collector and routing fan work out to the pool), the fault-injection
+# harness under -race, coverage floors on the packages the fault model
+# hardens, and short fuzz smokes of the wire codecs. Run via
+# `make verify` or directly. Coverage profiles land in coverage/ (the
+# CI artifact).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# check_coverage <pkg-dir> <floor-percent>: run the package's tests with
+# a coverage profile and fail if total statement coverage drops below
+# the floor. Floors sit a few points under the measured value so routine
+# churn passes but a hollowed-out test suite does not.
+check_coverage() {
+	pkg="$1"; floor="$2"
+	name="$(basename "$pkg")"
+	out="$(go test -coverprofile="coverage/$name.out" "./$pkg/" 2>&1)" || {
+		echo "$out"; exit 1
+	}
+	pct="$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p' | head -1)"
+	if [ -z "$pct" ]; then
+		echo "coverage: no percentage reported for $pkg"; exit 1
+	fi
+	ok="$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')"
+	if [ "$ok" != 1 ]; then
+		echo "coverage: $pkg at $pct% is below the $floor% floor"
+		exit 1
+	fi
+	echo "coverage: $pkg $pct% (floor $floor%)"
+}
 
 echo "== go vet ./..."
 go vet ./...
@@ -32,8 +57,18 @@ go test -race -count=1 ./internal/collector/ ./internal/routing/
 echo "== go test -race (determinism at every worker count)"
 go test -race -count=1 -run 'Determinism' ./internal/core/ ./internal/longitudinal/
 
-echo "== fuzz smoke (5s per wire codec)"
+echo "== go test -race (fault-injection harness: absorb or contain, never silent)"
+go test -race -count=1 -run 'TestHarness' ./internal/faultgen/harness/
+
+echo "== coverage floors (profiles in coverage/)"
+mkdir -p coverage
+check_coverage internal/bgpstream 90
+check_coverage internal/sanitize 84
+check_coverage internal/mrt 90
+
+echo "== fuzz smoke (5s per wire codec + reader resync loop)"
 go test -fuzz FuzzParseMessage -fuzztime 5s -run '^$' ./internal/mrt/
+go test -fuzz FuzzReadRecord -fuzztime 5s -run '^$' ./internal/mrt/
 go test -fuzz FuzzParseUpdate -fuzztime 5s -run '^$' ./internal/bgp/
 
 echo "== bench smoke (-benchtime=1x: bench code must compile and run)"
