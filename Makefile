@@ -12,7 +12,8 @@ test:
 lint:
 	$(GO) run ./cmd/atomlint ./...
 
-# Key benchmarks, distilled into BENCH_pr3.json (see scripts/bench.sh).
+# Key benchmarks (native GOMAXPROCS plus a -cpu 8 rerun of the RunTrend
+# matrix), distilled into BENCH_pr6.json (see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
 
@@ -21,8 +22,8 @@ bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 # Full pre-merge check: vet + atomlint + build + tests + race smokes
-# (including the fault-injection harness) + coverage floors + fuzz
-# smokes. Coverage profiles land in coverage/.
+# (including the fault-injection harness) + live observability smoke +
+# coverage floors + fuzz smokes. Coverage profiles land in coverage/.
 verify:
 	sh scripts/verify.sh
 

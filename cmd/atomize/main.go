@@ -16,7 +16,10 @@
 //
 // -trace writes a JSON run report (stage span tree + stream/sanitize
 // counters); -v prints the same report as a text tree on stderr;
-// -cpuprofile / -memprofile capture pprof profiles.
+// -cpuprofile / -memprofile capture pprof profiles. The live flags
+// work here too: -listen serves /metrics, /healthz, /runreport and
+// pprof while the run lasts, -sample feeds runtime health into the
+// registry, and -trace-out writes a Perfetto-loadable trace on exit.
 package main
 
 import (

@@ -10,6 +10,10 @@
 // Packages are import-path patterns relative to the module
 // ("./...", "./internal/bgp", "repro/internal/mrt/..."); none means the
 // whole module. Exit status: 0 clean, 1 findings, 2 load error.
+//
+// The shared observability flags apply (-trace, -v, -listen, -sample,
+// -progress, -trace-out): a lint of a large module can be profiled and
+// watched like any pipeline run.
 package main
 
 import (
@@ -18,13 +22,17 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/lintkit"
 )
+
+const tool = "atomlint"
 
 func main() {
 	dir := flag.String("C", ".", "module root directory")
 	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	o := cli.NewObs(tool)
 	flag.Parse()
 
 	if *list {
@@ -53,5 +61,12 @@ func main() {
 		}
 	}
 
-	os.Exit(lintkit.Main(os.Stdout, *dir, flag.Args(), analyzers))
+	// os.Exit skips defers, so the obs lifecycle brackets the run
+	// explicitly: trace/report/trace-out are written before exiting.
+	o.Start()
+	o.Root.SetAttr("analyzers", len(analyzers))
+	code := lintkit.Main(os.Stdout, *dir, flag.Args(), analyzers)
+	o.Root.SetAttr("exit", code)
+	o.Finish()
+	os.Exit(code)
 }

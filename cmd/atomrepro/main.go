@@ -7,12 +7,21 @@
 //	atomrepro -run table1,table3 -scale 0.02
 //	atomrepro -run all -scale 0.01 -seed 7
 //	atomrepro -run figure4 -workers 8
+//	atomrepro -run figure4 -listen :0 -sample 1s -progress -trace-out run.trace.json
 //
 // Every run is deterministic in (-seed, -scale) alone: -workers (the
 // pipeline's worker-pool bound, default one per CPU, 1 = sequential)
 // changes wall-clock only, never a number. Larger scales approach
 // the paper's absolute numbers at the cost of runtime; the default is
 // laptop-friendly and preserves every shape comparison.
+//
+// Long runs can be watched live: -listen serves Prometheus /metrics,
+// /healthz, /runreport and pprof for the run's duration (the bound
+// address is announced on stderr), -sample feeds runtime health into
+// the metrics, -progress streams per-era JSON progress events (with
+// throughput and ETA) on stderr, and -trace-out writes a
+// Perfetto-loadable trace of the stage tree on exit. None of them
+// changes any output number.
 package main
 
 import (
@@ -55,6 +64,7 @@ func main() {
 	cfg.FastPath = !*slow
 	cfg.Workers = *workers
 	cfg.Metrics = o.Registry
+	cfg.Progress = o.Progress
 
 	var selected []experiments.Experiment
 	switch *run {

@@ -8,7 +8,8 @@
 //	atomstat [-family 4|6] [-grid] [-workers n] [-trace out.json] [-v] data/*.rib.mrt
 //
 // -workers bounds the sanitization worker pool (default one per CPU,
-// 1 = sequential); the report is identical at any value.
+// 1 = sequential); the report is identical at any value. The shared
+// observability flags apply (-trace, -v, -listen, -sample, -trace-out).
 package main
 
 import (

@@ -8,7 +8,9 @@
 //
 // Writes one <collector>.rib.mrt and one <collector>.updates.mrt file
 // per simulated collector. Output depends only on (-seed, -scale,
-// -year, -quarter); -workers trades wall-clock for cores.
+// -year, -quarter); -workers trades wall-clock for cores, and the
+// shared observability flags (-trace, -v, -listen, -sample, -progress,
+// -trace-out) expose the run without changing a byte of it.
 //
 // With -faults, gensim additionally writes seeded-corrupt copies of
 // every archive under <out>/faulted/, plus faults.schedule — the
@@ -59,6 +61,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Trace = o.Root
 	cfg.Metrics = o.Registry
+	cfg.Progress = o.Progress
 	r := longitudinal.NewEraRun(cfg, era)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

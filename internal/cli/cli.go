@@ -1,8 +1,12 @@
 // Package cli holds the plumbing shared by the repo's commands: fatal
 // error handling, MRT source loading with collector-name derivation,
-// and the observability flag bundle (-trace, -v, -cpuprofile,
-// -memprofile) that turns any command into a traced run emitting a
-// machine-readable report (see internal/obs).
+// and the observability flag bundle that turns any command into a
+// traced run. Exit-report flags (-trace, -v, -cpuprofile, -memprofile)
+// capture a run after the fact; live flags (-listen, -sample,
+// -progress, -trace-out) expose it while it happens — a debug HTTP
+// server with Prometheus /metrics and pprof, a runtime-health sampler,
+// JSON progress lines on stderr, and a Perfetto-loadable trace file
+// (see internal/obs).
 package cli
 
 import (
@@ -13,6 +17,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/bgpstream"
@@ -75,7 +80,7 @@ func NewWorkers() *int {
 //	defer o.Finish()                // write trace/report, stop profiles
 //	... pass o.Root / o.Registry down the pipeline ...
 //
-// When neither -trace nor -v is given, Root and Registry stay nil and
+// When no observability flag is given, Root and Registry stay nil and
 // the entire instrumented pipeline runs on its no-op path; the pprof
 // flags work independently of tracing.
 type Obs struct {
@@ -85,12 +90,23 @@ type Obs struct {
 	Verbose    bool
 	CPUProfile string
 	MemProfile string
-	// Root / Registry are non-nil between Start and Finish when
-	// tracing is enabled.
+	// Live observability flag values: Chrome trace output path, debug
+	// HTTP listen address, runtime sampling interval, progress stream.
+	TraceOut   string
+	Listen     string
+	Sample     time.Duration
+	ProgressOn bool
+	// Root / Registry are non-nil between Start and Finish when any
+	// tracing surface is enabled.
 	Root     *obs.Span
 	Registry *obs.Registry
+	// Progress is non-nil between Start and Finish when -progress is
+	// given; pass it down via longitudinal.Config.Progress.
+	Progress *obs.Progress
 
 	cpuFile *os.File
+	sampler *obs.Sampler
+	server  *obs.DebugServer
 }
 
 // NewObs registers the observability flags on the default flag set.
@@ -100,15 +116,26 @@ func NewObs(tool string) *Obs {
 	flag.BoolVar(&o.Verbose, "v", false, "print the run report as a text tree to stderr")
 	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
 	flag.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to `file`")
+	flag.StringVar(&o.TraceOut, "trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to `file`")
+	flag.StringVar(&o.Listen, "listen", "", "serve /metrics, /healthz, /runreport and pprof on `addr` (e.g. :0) for the run's duration")
+	flag.DurationVar(&o.Sample, "sample", 0, "sample runtime health (heap, GC, goroutines) into the registry every `interval` (e.g. 1s; 0 = off)")
+	flag.BoolVar(&o.ProgressOn, "progress", false, "emit JSON progress events (per-era throughput, ETA) on stderr")
 	return o
 }
 
-// Enabled reports whether tracing is on (-trace or -v given).
-func (o *Obs) Enabled() bool { return o.TracePath != "" || o.Verbose }
+// Enabled reports whether any tracing surface is on — the exit report
+// (-trace, -v), the trace file (-trace-out), the debug server
+// (-listen), or the sampler (-sample, which needs a registry to feed).
+func (o *Obs) Enabled() bool {
+	return o.TracePath != "" || o.Verbose || o.TraceOut != "" || o.Listen != "" || o.Sample > 0
+}
 
 // Start begins the run: creates the root span and registry when
-// tracing is enabled and starts the CPU profile when requested. Call
-// after flag.Parse.
+// tracing is enabled, starts the CPU profile, runtime sampler,
+// progress stream and debug server when requested. Call after
+// flag.Parse. The debug server's address is announced on stderr (with
+// -listen=:0 the kernel picks the port, so the line is the only way to
+// find it).
 func (o *Obs) Start() {
 	if o.Enabled() {
 		o.Root = obs.Root(o.Tool)
@@ -124,10 +151,25 @@ func (o *Obs) Start() {
 		}
 		o.cpuFile = f
 	}
+	if o.ProgressOn {
+		o.Progress = obs.NewProgress(os.Stderr, o.Tool)
+	}
+	o.sampler = obs.StartSampler(o.Registry, o.Sample)
+	if o.Listen != "" {
+		srv, err := obs.ServeDebug(o.Listen, o.Tool, os.Args[1:], o.Root, o.Registry)
+		if err != nil {
+			Fatal(o.Tool, err)
+		}
+		o.server = srv
+		fmt.Fprintf(os.Stderr, "%s: observability on http://%s/ (metrics, healthz, runreport, debug/pprof)\n",
+			o.Tool, srv.Addr)
+	}
 }
 
-// Finish ends the run: closes the root span, writes the JSON report
-// and/or text tree, and flushes profiles. Safe to call when disabled.
+// Finish ends the run: flushes profiles, stops the sampler, closes the
+// root span, writes the trace file and the JSON report and/or text
+// tree, emits the final progress event, and shuts the debug server
+// down. Safe to call when disabled.
 func (o *Obs) Finish() {
 	if o.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -144,25 +186,45 @@ func (o *Obs) Finish() {
 		}
 		f.Close()
 	}
-	if !o.Enabled() {
-		return
-	}
-	o.Root.End()
-	report := obs.BuildReport(o.Tool, os.Args[1:], o.Root, o.Registry)
-	if o.TracePath != "" {
-		f, err := os.Create(o.TracePath)
-		if err != nil {
-			Fatal(o.Tool, err)
+	o.sampler.Stop() // take the run's final runtime sample off the board
+	o.sampler = nil
+	if o.Enabled() {
+		o.Root.End()
+		if o.TraceOut != "" {
+			f, err := os.Create(o.TraceOut)
+			if err != nil {
+				Fatal(o.Tool, err)
+			}
+			err = obs.WriteTrace(f, o.Root.Report())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				Fatal(o.Tool, err)
+			}
 		}
-		err = report.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			Fatal(o.Tool, err)
+		if o.TracePath != "" || o.Verbose {
+			report := obs.BuildReport(o.Tool, os.Args[1:], o.Root, o.Registry)
+			if o.TracePath != "" {
+				f, err := os.Create(o.TracePath)
+				if err != nil {
+					Fatal(o.Tool, err)
+				}
+				err = report.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					Fatal(o.Tool, err)
+				}
+			}
+			if o.Verbose {
+				report.WriteText(os.Stderr)
+			}
 		}
 	}
-	if o.Verbose {
-		report.WriteText(os.Stderr)
-	}
+	o.Progress.End("run_done")
+	o.Progress = nil
+	o.server.Close()
+	o.server = nil
 }

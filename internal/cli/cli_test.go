@@ -2,9 +2,13 @@ package cli
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestCollectorName(t *testing.T) {
@@ -87,6 +91,117 @@ func TestObsTraceReport(t *testing.T) {
 	}
 	if rep.Metrics.Counters["c{k=v}"] != 3 {
 		t.Errorf("counters = %+v", rep.Metrics.Counters)
+	}
+}
+
+func TestObsEnabledSurfaces(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Obs
+		want bool
+	}{
+		{"off", Obs{}, false},
+		{"trace", Obs{TracePath: "x"}, true},
+		{"verbose", Obs{Verbose: true}, true},
+		{"trace-out", Obs{TraceOut: "x"}, true},
+		{"listen", Obs{Listen: ":0"}, true},
+		{"sample", Obs{Sample: time.Second}, true},
+		{"profiles only", Obs{CPUProfile: "x"}, false},
+		{"progress only", Obs{ProgressOn: true}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.o.Enabled(); got != tc.want {
+			t.Errorf("%s: Enabled() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestObsTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "run.trace.json")
+	o := &Obs{Tool: "test", TraceOut: out}
+	o.Start()
+	if o.Root == nil || o.Registry == nil {
+		t.Fatal("-trace-out alone must enable the span tree")
+	}
+	sp := o.Root.Child("stage")
+	sp.End()
+	o.Finish()
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace-out not valid JSON: %v\n%s", err, data)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	if !names["test"] || !names["stage"] {
+		t.Errorf("trace events missing spans: %+v", trace.TraceEvents)
+	}
+}
+
+func TestObsListenAndSample(t *testing.T) {
+	o := &Obs{Tool: "test", Listen: "127.0.0.1:0", Sample: time.Hour}
+	o.Start()
+	if o.server == nil || o.server.Addr == "" {
+		t.Fatal("-listen must start the debug server")
+	}
+	if o.sampler == nil {
+		t.Fatal("-sample must start the sampler")
+	}
+	// The synchronous first sample lands before Start returns, so a
+	// scrape mid-run sees runtime health immediately.
+	resp, err := http.Get("http://" + o.server.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "atom_runtime_goroutines") {
+		t.Errorf("/metrics missing sampled runtime gauge:\n%s", body)
+	}
+	if !strings.Contains(string(body), "atom_runtime_samples_total 1") {
+		t.Errorf("/metrics missing sampler tick counter:\n%s", body)
+	}
+	addr := o.server.Addr
+	o.Finish()
+	if o.sampler != nil || o.server != nil {
+		t.Error("Finish must release sampler and server")
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("debug server still serving after Finish")
+	}
+}
+
+func TestObsProgress(t *testing.T) {
+	o := &Obs{Tool: "test"}
+	o.Start()
+	if o.Progress != nil {
+		t.Error("progress stream without -progress")
+	}
+	o.Finish()
+
+	o = &Obs{Tool: "test", ProgressOn: true}
+	o.Start()
+	if o.Progress == nil {
+		t.Fatal("-progress must build the stream")
+	}
+	o.Finish()
+	if o.Progress != nil {
+		t.Error("Finish must release the progress stream")
 	}
 }
 

@@ -69,6 +69,21 @@ func pkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
 	return ok && pn.Imported().Path() == pkg
 }
 
+// pkgSel reports whether sel is a reference to pkg.name where pkg is an
+// imported package — unlike pkgFunc it matches bare references too
+// (`f := time.Now`), not only call sites.
+func pkgSel(info *types.Info, sel *ast.SelectorExpr, pkg, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}
+
 // pkgOf returns the imported-package path of a selector call's
 // qualifier, or "" when the callee is not a package-qualified function.
 func pkgOf(info *types.Info, call *ast.CallExpr) string {

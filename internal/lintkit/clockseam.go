@@ -1,0 +1,71 @@
+package lintkit
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runClockSeam enforces the clock discipline in clockScopedPkgs: the
+// wall clock and the process environment may be touched only inside the
+// declarations listed in clockExemptDecls. Unlike the
+// deterministic-package sweep this flags *references*, not just calls —
+// `f := time.Now` stored for later escapes the seam exactly as a direct
+// call does, because tests that swap clockNow for a fake never see it.
+func runClockSeam(pass *Pass) {
+	info := pass.Pkg.Info
+	short := pass.Pkg.Path
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		short = short[i+1:]
+	}
+	exempt := func(name string) bool {
+		_, ok := clockExemptDecls[short+"."+name]
+		return ok
+	}
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgSel(info, sel, "time", "Now"):
+				pass.Reportf(sel.Pos(), "time.Now outside the clock seam: read the clock through obs.clockNow")
+			case pkgSel(info, sel, "time", "Since"):
+				pass.Reportf(sel.Pos(), "time.Since outside the clock seam: diff two obs.clockNow readings instead")
+			case pkgSel(info, sel, "os", "Getenv"), pkgSel(info, sel, "os", "LookupEnv"):
+				pass.Reportf(sel.Pos(), "environment read in a clock-scoped package: pass configuration through flags")
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !exempt(d.Name.Name) {
+					check(d)
+				}
+			case *ast.GenDecl:
+				// Exemption is per value spec, so `var clockNow = time.Now`
+				// stays clean without blessing its whole declaration block.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						check(spec)
+						continue
+					}
+					specExempt := false
+					for _, name := range vs.Names {
+						if exempt(name.Name) {
+							specExempt = true
+							break
+						}
+					}
+					if !specExempt {
+						check(vs)
+					}
+				}
+			}
+		}
+	}
+}

@@ -109,6 +109,31 @@ func TestLocksFixture(t *testing.T) {
 	checkFixture(t, "locks", "repro/internal/lockfix", All)
 }
 
+func TestClockSeamFixture(t *testing.T) {
+	checkFixture(t, "clockseam", "repro/internal/obs", All)
+}
+
+// TestClockSeamScope pins the sweep's package allowlist: the same
+// violation-riddled fixture under internal/cli is swept, under an
+// unscoped path it is silent.
+func TestClockSeamScope(t *testing.T) {
+	pkg := loadFixtureT(t, "clockseam", "repro/internal/cli")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) == 0 {
+		t.Error("clockseam fixture under internal/cli: no diagnostics, want findings")
+	} else {
+		// The exemption key is "obs.clockNow", so under internal/cli even
+		// the seam declaration itself is a finding.
+		want := 7
+		if len(diags) != want {
+			t.Errorf("clockseam fixture under internal/cli: %d diagnostic(s), want %d", len(diags), want)
+		}
+	}
+	pkg = loadFixtureT(t, "clockseam", "repro/internal/textplot")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("clockseam fixture under internal/textplot: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+}
+
 // TestFixtureSilentWithAnalyzerDisabled is the golden inversion: running
 // a fixture with its analyzer removed must produce zero diagnostics —
 // proving every marked finding is attributable to that one check (and
@@ -119,6 +144,7 @@ func TestFixtureSilentWithAnalyzerDisabled(t *testing.T) {
 		disabled  *Analyzer
 	}{
 		{"determinism", "repro/internal/core", Determinism},
+		{"clockseam", "repro/internal/obs", Determinism},
 		{"hotpath", "repro/internal/hotfix", Hotpath},
 		{"wiresafety", "repro/internal/mrt", WireSafety},
 		{"locks", "repro/internal/lockfix", Locks},
@@ -140,11 +166,13 @@ func TestFixtureSilentWithAnalyzerDisabled(t *testing.T) {
 
 // TestScopedAnalyzersRespectPackagePaths loads the violation-riddled
 // fixture sources under paths outside the analyzer's scope: the
-// allowlist must silence everything.
+// allowlist must silence everything. (internal/obs is no longer a
+// silent path for determinism — the clock-seam sweep covers it — so
+// the determinism fixture relocates to internal/textplot.)
 func TestScopedAnalyzersRespectPackagePaths(t *testing.T) {
-	pkg := loadFixtureT(t, "determinism", "repro/internal/obs")
+	pkg := loadFixtureT(t, "determinism", "repro/internal/textplot")
 	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
-		t.Errorf("determinism fixture under internal/obs: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+		t.Errorf("determinism fixture under internal/textplot: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
 	}
 	pkg = loadFixtureT(t, "wiresafety", "repro/internal/obs")
 	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WireSafety}); len(diags) != 0 {

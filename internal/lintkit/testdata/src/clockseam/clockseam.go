@@ -1,0 +1,58 @@
+// Package obs mirrors repro/internal/obs for the clock-seam sweep:
+// inside a clock-scoped package, every wall-clock or environment read
+// outside the exempt clockNow declaration is a finding — references
+// included, not just calls.
+package obs
+
+import (
+	"os"
+	"time"
+)
+
+// clockNow is the sanctioned seam; clockExemptDecls blesses exactly
+// this declaration, so referencing time.Now here is silent.
+var clockNow = time.Now
+
+// start reads the clock at package init, outside the seam.
+var start = time.Now() // want "time.Now outside the clock seam"
+
+// stamp calls the clock directly instead of going through the seam.
+func stamp() int64 {
+	return time.Now().Unix() // want "time.Now outside the clock seam"
+}
+
+// elapsed uses time.Since, which reads the wall clock internally.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since outside the clock seam"
+}
+
+// stored squirrels away a clock reference for later: a fake clock
+// swapped into clockNow never sees these reads.
+func stored() func() time.Time {
+	f := time.Now // want "time.Now outside the clock seam"
+	return f
+}
+
+// env reads configuration from the environment instead of flags.
+func env() string {
+	if v, ok := os.LookupEnv("ATOM_TRACE"); ok { // want "environment read in a clock-scoped package"
+		return v
+	}
+	return os.Getenv("ATOM_DEBUG") // want "environment read in a clock-scoped package"
+}
+
+// viaSeam is the sanctioned pattern: read through clockNow, diff the
+// readings for durations.
+func viaSeam() time.Duration {
+	t0 := clockNow()
+	return clockNow().Sub(t0)
+}
+
+var (
+	_ = start
+	_ = stamp
+	_ = elapsed
+	_ = stored
+	_ = env
+	_ = viaSeam
+)

@@ -1,9 +1,12 @@
 package longitudinal
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -189,6 +192,49 @@ func TestRunTrend(t *testing.T) {
 	if points[0].FormationShare[1] <= points[2].FormationShare[1] {
 		t.Errorf("d1 share did not shrink: %v -> %v",
 			points[0].FormationShare[1], points[2].FormationShare[1])
+	}
+}
+
+func TestRunTrendProgressStream(t *testing.T) {
+	var buf strings.Builder
+	cfg := smallConfig(9)
+	cfg.Scale = 0.004
+	cfg.Progress = obs.NewProgress(&buf, "test")
+	eras := []topology.Era{topology.EraOf(2006, 1), topology.EraOf(2024, 1)}
+	points, err := RunTrend(cfg, eras)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // trend, 2× era_done, trend_done
+		t.Fatalf("got %d progress lines, want 4:\n%s", len(lines), buf.String())
+	}
+	var events []obs.ProgressEvent
+	for i, line := range lines {
+		var ev obs.ProgressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		events = append(events, ev)
+	}
+	if events[0].Event != "trend" || events[0].Total != 2 {
+		t.Errorf("first event = %+v", events[0])
+	}
+	wantRows := int64(points[0].Stats.Prefixes + points[1].Stats.Prefixes)
+	seen := map[string]bool{}
+	for _, ev := range events[1:3] {
+		if ev.Event != "era_done" || ev.Total != 2 {
+			t.Errorf("era event = %+v", ev)
+		}
+		seen[ev.Era] = true
+	}
+	// Era completion order follows the scheduler; both must appear.
+	if !seen["2006Q1"] || !seen["2024Q1"] {
+		t.Errorf("eras seen = %v", seen)
+	}
+	last := events[3]
+	if last.Event != "trend_done" || last.Done != 2 || last.TotalRows != wantRows {
+		t.Errorf("final event = %+v (want total_rows %d)", last, wantRows)
 	}
 }
 

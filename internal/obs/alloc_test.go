@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+// TestDisabledObservabilityAllocationFree pins the acceptance contract
+// for every new surface: with the flags off (nil receivers everywhere)
+// the instrumented pipeline pays nil checks only — zero allocations.
+func TestDisabledObservabilityAllocationFree(t *testing.T) {
+	var p *Progress
+	var s *Sampler
+	var sp *Span
+	var reg *Registry
+	var d *DebugServer
+	got := testing.AllocsPerRun(1000, func() {
+		p.Begin("trend", 3)
+		p.Step("era_done", "2024Q1", 10)
+		p.End("trend_done")
+		s.Stop()
+		c := sp.Child("stage")
+		c.SetAttr("n", 1) // small-int boxing is allocation-free
+		c.End()
+		_ = sp.Duration()
+		_ = sp.Report()
+		reg.Counter("c", "k", "v").Inc()
+		reg.Gauge("g").Set(1)
+		reg.Histogram("h", "k", "v").Observe(1)
+		_ = reg.Snapshot()
+		_ = TraceEvents(nil)
+		d.Close()
+	})
+	if got != 0 {
+		t.Errorf("disabled observability allocates %.1f per run, want 0", got)
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock swaps the package clock seam for a stepping clock: the
+// first read returns start, each subsequent read advances by step.
+// Restored on test cleanup. Tests using it must not run in parallel
+// with anything else reading the clock (none of this package's tests
+// call t.Parallel, and samplers are stopped before returning).
+func fakeClock(t *testing.T, start time.Time, step time.Duration) {
+	t.Helper()
+	real := clockNow
+	n := 0
+	clockNow = func() time.Time {
+		ts := start.Add(time.Duration(n) * step)
+		n++
+		return ts
+	}
+	t.Cleanup(func() { clockNow = real })
+}

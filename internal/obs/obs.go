@@ -21,6 +21,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -128,12 +129,17 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time histogram copy.
+// HistogramSnapshot is a point-in-time histogram copy. P50/P90/P99 are
+// nearest-rank quantile estimates over the power-of-two buckets (see
+// Quantile); an empty histogram reports every field as zero.
 type HistogramSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
 	Min     int64        `json:"min"`
 	Max     int64        `json:"max"`
+	P50     int64        `json:"p50,omitempty"`
+	P90     int64        `json:"p90,omitempty"`
+	P99     int64        `json:"p99,omitempty"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -143,6 +149,37 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) with the repo's
+// nearest-rank convention (rank = ceil(q·n), as core.GeneralStats'
+// P99AtomSize): the answer is the upper bound of the bucket holding the
+// ranked observation, clamped to the observed [Min, Max] so a
+// single-observation histogram reports that exact value at every
+// quantile and an empty one reports 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			v := b.Le
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -170,6 +207,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, HistBucket{Le: le, Count: n})
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress emits structured progress events as JSON lines — one object
+// per line, machine-parseable mid-run — so a multi-hour RunTrend
+// reports per-era throughput and an ETA while it works instead of
+// staying silent until exit. Events go to the writer given to
+// NewProgress (stderr under every command's -progress flag).
+//
+// All methods are nil-safe no-ops, so the pipeline threads a *Progress
+// unconditionally and pays one nil check when the flag is off. Methods
+// are safe for concurrent use; under a parallel RunTrend the era
+// completion order (and therefore event order) follows the scheduler,
+// which is exactly the wall-clock truth progress reporting is for —
+// the pipeline's *results* stay byte-identical regardless.
+type Progress struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	tool  string
+	start time.Time
+	total int
+	done  int
+	rows  int64
+}
+
+// ProgressEvent is one emitted line.
+type ProgressEvent struct {
+	// Event names the milestone: trend_start, era_done, trend_done,
+	// splits_done, run_done, ...
+	Event string `json:"event"`
+	Tool  string `json:"tool"`
+	// Era labels per-era events ("2024Q1").
+	Era string `json:"era,omitempty"`
+	// Done/Total count completed units against the Begin total.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Rows is this step's processed row count (admitted prefixes for an
+	// era); TotalRows and RowsPerSec are cumulative across the run.
+	Rows       int64   `json:"rows,omitempty"`
+	TotalRows  int64   `json:"total_rows,omitempty"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	// ElapsedMS is wall time since NewProgress; ETAMS extrapolates the
+	// remaining units from the pace so far (only with a known total).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	ETAMS     int64 `json:"eta_ms,omitempty"`
+}
+
+// NewProgress starts a progress stream for tool on w.
+func NewProgress(w io.Writer, tool string) *Progress {
+	return &Progress{enc: json.NewEncoder(w), tool: tool, start: clockNow()}
+}
+
+// Begin announces a unit of work with a known size (e.g. a trend over
+// len(eras) eras) and resets the completion counter.
+func (p *Progress) Begin(event string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.done = 0
+	p.emit(ProgressEvent{Event: event, Total: total})
+}
+
+// Step records one completed unit (rows = rows it processed) and emits
+// the event with cumulative throughput and, when a Begin total is
+// known, an ETA.
+func (p *Progress) Step(event, era string, rows int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.rows += rows
+	ev := ProgressEvent{Event: event, Era: era, Done: p.done, Total: p.total, Rows: rows}
+	elapsed := clockNow().Sub(p.start)
+	if p.total > 0 && p.done < p.total {
+		ev.ETAMS = int64(float64(elapsed.Milliseconds()) / float64(p.done) * float64(p.total-p.done))
+	}
+	p.emitAt(ev, elapsed)
+}
+
+// End closes out a unit of work (or the whole run).
+func (p *Progress) End(event string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emit(ProgressEvent{Event: event, Done: p.done, Total: p.total})
+}
+
+// emit fills the cumulative fields and writes one line. Callers hold
+// p.mu.
+func (p *Progress) emit(ev ProgressEvent) {
+	p.emitAt(ev, clockNow().Sub(p.start))
+}
+
+func (p *Progress) emitAt(ev ProgressEvent, elapsed time.Duration) {
+	ev.Tool = p.tool
+	ev.TotalRows = p.rows
+	ev.ElapsedMS = elapsed.Milliseconds()
+	if secs := elapsed.Seconds(); secs > 0 && p.rows > 0 {
+		ev.RowsPerSec = float64(p.rows) / secs
+	}
+	p.enc.Encode(ev)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressGolden pins the JSON-lines stream under a fake clock
+// stepping 100ms per read: one read at NewProgress, then one per
+// emitted event, so elapsed/eta/throughput are all exact.
+func TestProgressGolden(t *testing.T) {
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	fakeClock(t, start, 100*time.Millisecond)
+
+	var buf strings.Builder
+	p := NewProgress(&buf, "atomrepro") // read 0
+	p.Begin("trend", 3)                 // read 1: elapsed 100ms
+	p.Step("era_done", "2005H1", 1000)  // read 2: elapsed 200ms
+	p.Step("era_done", "2005H2", 500)   // read 3: elapsed 300ms
+	p.Step("era_done", "2006H1", 500)   // read 4: elapsed 400ms
+	p.End("trend_done")                 // read 5: elapsed 500ms
+
+	want := strings.Join([]string{
+		`{"event":"trend","tool":"atomrepro","total":3,"elapsed_ms":100}`,
+		`{"event":"era_done","tool":"atomrepro","era":"2005H1","done":1,"total":3,"rows":1000,"total_rows":1000,"rows_per_sec":5000,"elapsed_ms":200,"eta_ms":400}`,
+		`{"event":"era_done","tool":"atomrepro","era":"2005H2","done":2,"total":3,"rows":500,"total_rows":1500,"rows_per_sec":5000,"elapsed_ms":300,"eta_ms":150}`,
+		`{"event":"era_done","tool":"atomrepro","era":"2006H1","done":3,"total":3,"rows":500,"total_rows":2000,"rows_per_sec":5000,"elapsed_ms":400}`,
+		`{"event":"trend_done","tool":"atomrepro","done":3,"total":3,"total_rows":2000,"rows_per_sec":4000,"elapsed_ms":500}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("progress stream mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestProgressLinesParse: every line must be one standalone JSON object
+// (the machine-parseable contract of -progress).
+func TestProgressLinesParse(t *testing.T) {
+	var buf strings.Builder
+	p := NewProgress(&buf, "gensim")
+	p.Begin("splits", 2)
+	p.Step("splits_done", "", 10)
+	p.Step("splits_done", "", 20)
+	p.End("run_done")
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var ev ProgressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Errorf("line %d not a JSON object: %v\n%s", i, err, line)
+		}
+		if ev.Tool != "gensim" {
+			t.Errorf("line %d tool = %q", i, ev.Tool)
+		}
+	}
+	var last ProgressEvent
+	json.Unmarshal([]byte(lines[3]), &last)
+	if last.Event != "run_done" || last.TotalRows != 30 || last.Done != 2 {
+		t.Errorf("final event = %+v", last)
+	}
+}
+
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.Begin("x", 1)
+	p.Step("x", "era", 1)
+	p.End("x") // all must no-op without panicking
+}
+
+// TestProgressConcurrentSteps: parallel era workers step concurrently;
+// the stream must stay one-JSON-object-per-line with a consistent final
+// cumulative count (run under -race in verify.sh).
+func TestProgressConcurrentSteps(t *testing.T) {
+	// All emits run under Progress's own mutex, so a plain builder is
+	// race-free here.
+	var buf strings.Builder
+	p := NewProgress(&buf, "atomrepro")
+	p.Begin("trend", 8)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			p.Step("era_done", "era", 5)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	p.End("trend_done")
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	var last ProgressEvent
+	if err := json.Unmarshal([]byte(lines[9]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Done != 8 || last.TotalRows != 40 {
+		t.Errorf("final event = %+v", last)
+	}
+}

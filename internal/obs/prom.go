@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the registry.
+//
+// Every registry key maps onto the repo's exposition naming convention
+// `atom_<subsystem>_<name>[_<unit>]` (see DESIGN.md): the dotted source
+// key is prefixed with "atom_" and every non-alphanumeric rune becomes
+// an underscore, so `bgpstream.records` scrapes as
+// `atom_bgpstream_records` and `sanitize.prefixes_dropped{filter=length}`
+// as `atom_sanitize_prefixes_dropped{filter="length"}`. Counters and
+// gauges export as their Prometheus kind; histograms export as
+// summaries with the nearest-rank p50/p90/p99 quantiles plus _sum and
+// _count, and companion _min/_max gauge families. Output is fully
+// deterministic: families sort by name, series sort by label set, and
+// the HELP line carries the dotted source key for provenance.
+
+// PromContentType is the Content-Type for /metrics responses.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every instrument in Prometheus text
+// exposition format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// promSample is one exposition line: name{labels} value.
+type promSample struct {
+	labels string // rendered label block, "" or `{k="v",...}`
+	suffix string // sample-name suffix within the family ("", "_sum", ...)
+	order  int    // tie-break so quantiles keep 0.5, 0.9, 0.99 order
+	value  string
+}
+
+// promFamily is one metric family: a HELP line, a TYPE line, and the
+// family's samples.
+type promFamily struct {
+	name    string // exposition name (atom_...)
+	kind    string // "counter", "gauge" or "summary"
+	help    string // dotted source key, for provenance
+	samples []promSample
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. A nil snapshot writes nothing.
+func (m *MetricsSnapshot) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	families := map[string]*promFamily{}
+	family := func(name, kind, help string) *promFamily {
+		f := families[name]
+		if f == nil {
+			f = &promFamily{name: name, kind: kind, help: help}
+			families[name] = f
+		}
+		return f
+	}
+	for key, v := range m.Counters {
+		base, labels := splitKey(key)
+		f := family(promName(base), "counter", base)
+		f.samples = append(f.samples, promSample{labels: promLabels(labels), value: strconv.FormatInt(v, 10)})
+	}
+	for key, v := range m.Gauges {
+		base, labels := splitKey(key)
+		f := family(promName(base), "gauge", base)
+		f.samples = append(f.samples, promSample{labels: promLabels(labels), value: strconv.FormatInt(v, 10)})
+	}
+	for key, h := range m.Histograms {
+		base, labels := splitKey(key)
+		name := promName(base)
+		f := family(name, "summary", base)
+		for i, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			f.samples = append(f.samples, promSample{
+				labels: promLabels(labels, [2]string{"quantile", q.q}),
+				order:  i + 1,
+				value:  strconv.FormatInt(q.v, 10),
+			})
+		}
+		f.samples = append(f.samples,
+			promSample{labels: promLabels(labels), suffix: "_sum", order: 4, value: strconv.FormatInt(h.Sum, 10)},
+			promSample{labels: promLabels(labels), suffix: "_count", order: 5, value: strconv.FormatInt(h.Count, 10)})
+		// Min/max have no Prometheus summary slot; export them as
+		// companion gauge families so dashboards keep the text report's
+		// full picture.
+		fmin := family(name+"_min", "gauge", base+" (min)")
+		fmin.samples = append(fmin.samples, promSample{labels: promLabels(labels), value: strconv.FormatInt(h.Min, 10)})
+		fmax := family(name+"_max", "gauge", base+" (max)")
+		fmax.samples = append(fmax.samples, promSample{labels: promLabels(labels), value: strconv.FormatInt(h.Max, 10)})
+	}
+
+	var b bytes.Buffer
+	for _, name := range sortedKeys(families) {
+		f := families[name]
+		sort.Slice(f.samples, func(i, j int) bool {
+			a, b := f.samples[i], f.samples[j]
+			ak, bk := stripQuantile(a.labels), stripQuantile(b.labels)
+			if ak != bk {
+				return ak < bk
+			}
+			return a.order < b.order
+		})
+		fmt.Fprintf(&b, "# HELP %s source %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.samples {
+			fmt.Fprintf(&b, "%s%s%s %s\n", f.name, s.suffix, s.labels, s.value)
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// splitKey undoes obs.Key: "name{k=v,k2=v2}" → base name + label pairs.
+func splitKey(key string) (string, [][2]string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	base := key[:i]
+	var labels [][2]string
+	for _, pair := range strings.Split(key[i+1:len(key)-1], ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok {
+			labels = append(labels, [2]string{k, v})
+		}
+	}
+	return base, labels
+}
+
+// promName maps a dotted registry key onto the exposition convention:
+// "atom_" + the key with every non-alphanumeric rune as '_'.
+func promName(base string) string {
+	var b strings.Builder
+	b.Grow(len(base) + 5)
+	b.WriteString("atom_")
+	for _, r := range base {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a sorted, escaped label block ("" when empty).
+func promLabels(pairs [][2]string, extra ...[2]string) string {
+	all := append(append([][2]string(nil), pairs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i][0] < all[j][0] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(kv[0]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promLabelName sanitizes a label name to [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(k string) string {
+	var b strings.Builder
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes per the text exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// stripQuantile removes the synthetic quantile label so a summary's
+// series sort by their real label set with the quantiles in rank order.
+// The result is normalized (no dangling comma, "" when no labels
+// remain) so it compares equal to the label block of the _sum/_count
+// companions.
+func stripQuantile(labels string) string {
+	i := strings.Index(labels, `quantile="`)
+	if i < 0 {
+		return labels
+	}
+	j := strings.IndexByte(labels[i+len(`quantile="`):], '"')
+	if j < 0 {
+		return labels
+	}
+	out := labels[:i] + labels[i+len(`quantile="`)+j+1:]
+	out = strings.ReplaceAll(out, `,}`, `}`)
+	out = strings.ReplaceAll(out, `{,`, `{`)
+	if out == "{}" {
+		return ""
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition bytes: deterministic
+// family and series order, the atom_ naming convention, summary
+// quantiles, and the empty-histogram edge case (count 0, all-zero
+// values, no NaN anywhere).
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bgpstream.records").Add(42)
+	reg.Counter("sanitize.dropped", "filter", "length").Add(7)
+	reg.Gauge("vps").Set(13)
+	h := reg.Histogram("mrt.msg_bytes", "collector", "rrc00")
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	reg.Histogram("empty.h") // scrapes as count=0, no NaN
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP atom_bgpstream_records source bgpstream.records
+# TYPE atom_bgpstream_records counter
+atom_bgpstream_records 42
+# HELP atom_empty_h source empty.h
+# TYPE atom_empty_h summary
+atom_empty_h{quantile="0.5"} 0
+atom_empty_h{quantile="0.9"} 0
+atom_empty_h{quantile="0.99"} 0
+atom_empty_h_sum 0
+atom_empty_h_count 0
+# HELP atom_empty_h_max source empty.h (max)
+# TYPE atom_empty_h_max gauge
+atom_empty_h_max 0
+# HELP atom_empty_h_min source empty.h (min)
+# TYPE atom_empty_h_min gauge
+atom_empty_h_min 0
+# HELP atom_mrt_msg_bytes source mrt.msg_bytes
+# TYPE atom_mrt_msg_bytes summary
+atom_mrt_msg_bytes{collector="rrc00",quantile="0.5"} 3
+atom_mrt_msg_bytes{collector="rrc00",quantile="0.9"} 100
+atom_mrt_msg_bytes{collector="rrc00",quantile="0.99"} 100
+atom_mrt_msg_bytes_sum{collector="rrc00"} 106
+atom_mrt_msg_bytes_count{collector="rrc00"} 4
+# HELP atom_mrt_msg_bytes_max source mrt.msg_bytes (max)
+# TYPE atom_mrt_msg_bytes_max gauge
+atom_mrt_msg_bytes_max{collector="rrc00"} 100
+# HELP atom_mrt_msg_bytes_min source mrt.msg_bytes (min)
+# TYPE atom_mrt_msg_bytes_min gauge
+atom_mrt_msg_bytes_min{collector="rrc00"} 1
+# HELP atom_sanitize_dropped source sanitize.dropped
+# TYPE atom_sanitize_dropped counter
+atom_sanitize_dropped{filter="length"} 7
+# HELP atom_vps source vps
+# TYPE atom_vps gauge
+atom_vps 13
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if lint := LintPromText(buf.String()); len(lint) != 0 {
+		t.Errorf("golden exposition fails its own lint: %v", lint)
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var nilReg *Registry
+	var buf strings.Builder
+	if err := nilReg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry: err=%v out=%q", err, buf.String())
+	}
+	var nilSnap *MetricsSnapshot
+	if err := nilSnap.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil snapshot: err=%v out=%q", err, buf.String())
+	}
+	if err := NewRegistry().WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("empty registry: err=%v out=%q", err, buf.String())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestWritePrometheusWriterError(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	if err := reg.WritePrometheus(failWriter{}); err == nil {
+		t.Error("writer error not surfaced")
+	}
+}
+
+func TestPromEscapingAndSorting(t *testing.T) {
+	reg := NewRegistry()
+	// Labels given in reverse order with characters needing escapes and
+	// name sanitization.
+	reg.Counter("weird.metric-name", "z", `a"b\c`, "1bad", "x\ny").Inc()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "atom_weird_metric_name{_1bad=\"x\\ny\",z=\"a\\\"b\\\\c\"} 1\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped sample missing:\nwant %q\ngot:\n%s", want, buf.String())
+	}
+}
+
+// TestHistogramQuantiles pins the nearest-rank bucket convention and
+// its edge cases.
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	// Single observation: every quantile is that exact value (clamped
+	// from the bucket bound to the observed max).
+	reg.Histogram("one").Observe(100)
+	s := reg.Snapshot().Histograms["one"]
+	if s.P50 != 100 || s.P90 != 100 || s.P99 != 100 {
+		t.Errorf("single-observation quantiles = %d/%d/%d, want 100 each", s.P50, s.P90, s.P99)
+	}
+	// Empty: all zero, and Mean stays finite.
+	e := reg.Histogram("none")
+	_ = e
+	se := reg.Snapshot().Histograms["none"]
+	if se.P50 != 0 || se.P99 != 0 || se.Mean() != 0 || se.Count != 0 {
+		t.Errorf("empty histogram = %+v", se)
+	}
+	// Uniform small values: p50 lands in the right bucket, clamped to
+	// the observed range.
+	u := reg.Histogram("uniform")
+	for v := int64(1); v <= 100; v++ {
+		u.Observe(v)
+	}
+	su := reg.Snapshot().Histograms["uniform"]
+	// rank(0.5)=50 → bucket le=63; rank(0.99)=99 → le=127 clamps to 100.
+	if su.P50 != 63 {
+		t.Errorf("p50 = %d, want 63", su.P50)
+	}
+	if su.P90 != 127 || su.P99 != 100 {
+		// p90: rank 90 → le=127, clamped to max=100.
+		if su.P90 != 100 {
+			t.Errorf("p90 = %d, want 100 (clamped)", su.P90)
+		}
+		if su.P99 != 100 {
+			t.Errorf("p99 = %d, want 100 (clamped)", su.P99)
+		}
+	}
+	// Quantile on a hand-built snapshot past the last bucket.
+	hs := HistogramSnapshot{Count: 2, Min: 1, Max: 9, Buckets: []HistBucket{{Le: 1, Count: 1}, {Le: 15, Count: 1}}}
+	if got := hs.Quantile(1.0); got != 9 {
+		t.Errorf("Quantile(1.0) = %d, want 9", got)
+	}
+	if got := hs.Quantile(0.0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1 (rank clamps to 1)", got)
+	}
+}
+
+// TestLintPromTextCatchesViolations exercises the promlint-lite rules
+// against hand-built bad documents so the verify.sh smoke's gate is
+// itself tested.
+func TestLintPromTextCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no type", "# HELP atom_x source x\natom_x 1\n", "sample without TYPE"},
+		{"no help", "# TYPE atom_x counter\natom_x 1\n", "sample without HELP"},
+		{"bad name", "# HELP other_x source x\n# TYPE other_x counter\nother_x 1\n", "atom_ convention"},
+		{"dup series", "# HELP atom_x source x\n# TYPE atom_x counter\natom_x 1\natom_x 2\n", "duplicate series"},
+		{"nan", "# HELP atom_x source x\n# TYPE atom_x gauge\natom_x NaN\n", "NaN value"},
+		{"garbage", "# HELP atom_x source x\n# TYPE atom_x counter\n!!! not a sample\n", "unparseable sample"},
+		{"bad kind", "# HELP atom_x source x\n# TYPE atom_x sandwich\natom_x 1\n", "bad TYPE kind"},
+	}
+	for _, tc := range cases {
+		got := LintPromText(tc.text)
+		found := false
+		for _, p := range got {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want a %q problem, got %v", tc.name, tc.want, got)
+		}
+	}
+	clean := "# HELP atom_x source x\n# TYPE atom_x summary\natom_x{quantile=\"0.5\"} 1\natom_x_sum 1\natom_x_count 1\n"
+	if got := LintPromText(clean); len(got) != 0 {
+		t.Errorf("clean summary document flagged: %v", got)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// promlint-lite: a stdlib validation of the text exposition this
+// package emits, shared by the package tests and the verify.sh scrape
+// smoke (scripts/obssmoke.go). It is deliberately stricter than
+// Prometheus itself in one way — every metric name must match the
+// repo's atom_ convention — and checks only what this repo's writer
+// can get wrong, not the full upstream promlint rule set.
+
+var (
+	promNameRe   = regexp.MustCompile(`^atom_[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$`)
+)
+
+// LintPromText checks one exposition document: every sample line must
+// parse, every family must carry HELP and TYPE before its samples,
+// metric names must match the atom_ convention, series must be unique,
+// and values must be finite numbers. Returns the violations found
+// (empty means clean).
+func LintPromText(text string) []string {
+	var problems []string
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				problems = append(problems, "HELP without text: "+line)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			switch kind {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				problems = append(problems, "bad TYPE kind: "+line)
+			}
+			if !promNameRe.MatchString(name) {
+				problems = append(problems, "metric name outside the atom_ convention: "+name)
+			}
+			typed[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			problems = append(problems, "unparseable sample line: "+line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		family := name
+		if typed[family] == "" {
+			// Summary companion samples attach to the base family.
+			for _, suffix := range []string{"_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "summary" {
+					family = base
+				}
+			}
+		}
+		if typed[family] == "" {
+			problems = append(problems, "sample without TYPE: "+line)
+		}
+		if !helped[family] {
+			problems = append(problems, "sample without HELP: "+line)
+		}
+		if !promNameRe.MatchString(family) {
+			problems = append(problems, "metric name outside the atom_ convention: "+name)
+		}
+		if seen[name+labels] {
+			problems = append(problems, "duplicate series: "+name+labels)
+		}
+		seen[name+labels] = true
+		if f, err := strconv.ParseFloat(value, 64); err != nil {
+			problems = append(problems, fmt.Sprintf("non-numeric value %q: %s", value, line))
+		} else if f != f {
+			problems = append(problems, "NaN value: "+line)
+		}
+	}
+	return problems
+}

@@ -131,8 +131,8 @@ func writeMetricsText(w io.Writer, m *MetricsSnapshot) {
 		fmt.Fprintln(w, "-- histograms --")
 		for _, k := range sortedKeys(m.Histograms) {
 			h := m.Histograms[k]
-			fmt.Fprintf(w, "  %-44s n=%d sum=%d min=%d mean=%.1f max=%d\n",
-				k, h.Count, h.Sum, h.Min, h.Mean(), h.Max)
+			fmt.Fprintf(w, "  %-44s n=%d sum=%d min=%d mean=%.1f p50=%d p90=%d p99=%d max=%d\n",
+				k, h.Count, h.Sum, h.Min, h.Mean(), h.P50, h.P90, h.P99, h.Max)
 		}
 	}
 }

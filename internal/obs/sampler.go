@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Sampler publishes runtime health into the registry at a fixed
+// interval, so a long-running pipeline exposes live heap, GC, and
+// scheduler evidence on /metrics instead of only an exit report:
+//
+//	runtime.heap_objects_bytes   live heap object bytes (gauge)
+//	runtime.total_bytes          total runtime-managed memory (gauge)
+//	runtime.goroutines           live goroutine count (gauge)
+//	runtime.gc_cycles_total      completed GC cycles (gauge, cumulative)
+//	runtime.gc_pause_p99_ns      p99 GC stop-the-world pause (gauge)
+//	runtime.sched_latency_p99_ns p99 goroutine scheduling latency (gauge)
+//	runtime.samples_total        sampler ticks (counter)
+//
+// The sampler is opt-in (-sample on every command) and costs nothing
+// when off: a nil registry or non-positive interval yields a nil
+// *Sampler whose Stop is a no-op, and the pipeline itself never touches
+// these keys.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+	samples  []metrics.Sample
+}
+
+// samplerMetrics are the runtime/metrics names read each tick, paired
+// with the registry gauge fed from each. Histogram-valued metrics
+// (seconds distributions) publish their p99 in nanoseconds.
+var samplerMetrics = []struct {
+	runtime  string
+	registry string
+}{
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "runtime.total_bytes"},
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles_total"},
+	{"/gc/pauses:seconds", "runtime.gc_pause_p99_ns"},
+	{"/sched/latencies:seconds", "runtime.sched_latency_p99_ns"},
+}
+
+// StartSampler begins background sampling into reg every interval. The
+// first sample is taken synchronously, so even a run shorter than one
+// interval scrapes real values. Returns nil (a no-op sampler) when reg
+// is nil or the interval is not positive.
+func StartSampler(reg *Registry, interval time.Duration) *Sampler {
+	if reg == nil || interval <= 0 {
+		return nil
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		samples:  make([]metrics.Sample, len(samplerMetrics)),
+	}
+	for i := range s.samples {
+		s.samples[i].Name = samplerMetrics[i].runtime
+	}
+	s.sample()
+	go s.run()
+	return s
+}
+
+// Stop halts the sampler and waits for the background goroutine to
+// exit. Nil-safe and idempotent.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample reads the runtime metrics and publishes them.
+func (s *Sampler) sample() {
+	metrics.Read(s.samples)
+	for i, m := range samplerMetrics {
+		v := s.samples[i].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			s.reg.Gauge(m.registry).Set(int64(v.Uint64()))
+		case metrics.KindFloat64Histogram:
+			s.reg.Gauge(m.registry).Set(histP99Nanos(v.Float64Histogram()))
+		}
+		// KindBad: the metric does not exist on this runtime; skip.
+	}
+	s.reg.Counter("runtime.samples_total").Inc()
+}
+
+// histP99Nanos estimates the p99 of a runtime seconds-distribution in
+// nanoseconds, nearest-rank over the cumulative bucket counts. Empty
+// histograms report 0; the open upper bucket falls back to its finite
+// lower bound.
+func histP99Nanos(h *metrics.Float64Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(0.99 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				hi = h.Buckets[i]
+			}
+			if math.IsInf(hi, -1) || hi < 0 {
+				return 0
+			}
+			return int64(hi * 1e9)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestHistP99Nanos(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		h    *metrics.Float64Histogram
+		want int64
+	}{
+		{"nil", nil, 0},
+		{"empty", &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1e-6, 1e-3}}, 0},
+		{"all in second bucket", &metrics.Float64Histogram{
+			Counts: []uint64{0, 10}, Buckets: []float64{0, 1e-6, 1e-3}}, 1_000_000},
+		{"rank lands early", &metrics.Float64Histogram{
+			// 100 in bucket 0, 1 in bucket 1: rank = ceil(.99*101) = 100 → bucket 0.
+			Counts: []uint64{100, 1}, Buckets: []float64{0, 1e-6, 1e-3}}, 1_000},
+		{"open upper bucket falls back to lower bound", &metrics.Float64Histogram{
+			Counts: []uint64{1}, Buckets: []float64{1e-3, inf}}, 1_000_000},
+		{"fully unbounded bucket reports zero", &metrics.Float64Histogram{
+			Counts: []uint64{5}, Buckets: []float64{math.Inf(-1), inf}}, 0},
+	}
+	for _, tc := range cases {
+		if got := histP99Nanos(tc.h); got != tc.want {
+			t.Errorf("%s: histP99Nanos = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestStartSamplerDisabled(t *testing.T) {
+	if s := StartSampler(nil, time.Second); s != nil {
+		t.Error("nil registry should yield a nil sampler")
+	}
+	if s := StartSampler(NewRegistry(), 0); s != nil {
+		t.Error("zero interval should yield a nil sampler")
+	}
+	var s *Sampler
+	s.Stop() // must not panic or block
+}
+
+func TestSamplerFirstSampleSynchronous(t *testing.T) {
+	reg := NewRegistry()
+	s := StartSampler(reg, time.Hour) // ticker will never fire in-test
+	defer s.Stop()
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("runtime.samples_total"); got != 1 {
+		t.Errorf("samples_total after start = %d, want 1 (synchronous first sample)", got)
+	}
+	if v := snap.Gauges["runtime.goroutines"]; v <= 0 {
+		t.Errorf("runtime.goroutines = %d, want > 0", v)
+	}
+	if v := snap.Gauges["runtime.heap_objects_bytes"]; v <= 0 {
+		t.Errorf("runtime.heap_objects_bytes = %d, want > 0", v)
+	}
+	if v := snap.Gauges["runtime.total_bytes"]; v <= 0 {
+		t.Errorf("runtime.total_bytes = %d, want > 0", v)
+	}
+}
+
+func TestSamplerTicksAndStops(t *testing.T) {
+	reg := NewRegistry()
+	s := StartSampler(reg, 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().CounterValue("runtime.samples_total") < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler never ticked: samples_total = %d",
+				reg.Snapshot().CounterValue("runtime.samples_total"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	after := reg.Snapshot().CounterValue("runtime.samples_total")
+	time.Sleep(20 * time.Millisecond)
+	if got := reg.Snapshot().CounterValue("runtime.samples_total"); got != after {
+		t.Errorf("sampler kept ticking after Stop: %d → %d", after, got)
+	}
+	s.Stop() // idempotent
+}

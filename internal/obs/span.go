@@ -6,6 +6,15 @@ import (
 	"time"
 )
 
+// clockNow is the package's single wall-clock seam: every timing-
+// dependent obs feature (spans, progress events, the debug server's
+// uptime) reads the clock through it, so tests swap in a fake clock and
+// pin otherwise time-dependent output (trace export, progress lines)
+// byte for byte. atomlint's determinism analyzer sweeps internal/obs
+// and internal/cli for wall-clock reads and allows time.Now only here
+// (see internal/lintkit/determinism.go, clockExemptDecls).
+var clockNow = time.Now
+
 // Attr is one span attribute. Values should be JSON-serializable
 // (numbers, strings, bools, or small structs of those).
 type Attr struct {
@@ -60,7 +69,7 @@ func Root(name string, opts ...SpanOption) *Span {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Span{name: name, start: time.Now(), memStats: cfg.memStats}
+	s := &Span{name: name, start: clockNow(), memStats: cfg.memStats}
 	if s.memStats {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
@@ -75,7 +84,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now(), memStats: s.memStats}
+	c := &Span{name: name, start: clockNow(), memStats: s.memStats}
 	if c.memStats {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
@@ -115,7 +124,7 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.end = time.Now()
+	s.end = clockNow()
 	if s.memStats {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
@@ -147,7 +156,7 @@ func (s *Span) Duration() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.ended {
-		return time.Since(s.start)
+		return clockNow().Sub(s.start)
 	}
 	return s.end.Sub(s.start)
 }
@@ -181,7 +190,7 @@ func (s *Span) Report() *SpanReport {
 	if s.ended {
 		r.DurationMS = float64(s.end.Sub(s.start).Microseconds()) / 1000
 	} else {
-		r.DurationMS = float64(time.Since(s.start).Microseconds()) / 1000
+		r.DurationMS = float64(clockNow().Sub(s.start).Microseconds()) / 1000
 	}
 	if len(s.attrs) > 0 {
 		r.Attrs = append([]Attr(nil), s.attrs...)

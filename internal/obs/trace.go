@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+)
+
+// Chrome trace-event export of the span tree: the run's stages as
+// complete ("X") events in the Trace Event Format, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Every span becomes one event
+// carrying its attributes and allocation deltas as args; concurrent
+// subtrees (parallel eras, snapshot fan-out) are spread across thread
+// lanes so overlapping spans never fight over one track.
+
+// TraceEvent is one Trace Event Format entry. Ph "X" is a complete
+// event (ts + dur, microseconds); ph "M" is metadata (process name).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object form of the format (the bare-array form
+// is also legal, but the object form carries the display unit).
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEvents flattens a span-report tree into trace events. Timestamps
+// are microseconds since the root span's start. Nil reports flatten to
+// nil.
+func TraceEvents(root *SpanReport) []TraceEvent {
+	if root == nil {
+		return nil
+	}
+	out := []TraceEvent{{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  1,
+		TID:  1,
+		Args: map[string]any{"name": root.Name},
+	}}
+	nextLane := 2
+	var emit func(s *SpanReport, lane int)
+	emit = func(s *SpanReport, lane int) {
+		out = append(out, spanEvent(s, root.Start, lane))
+		// Children pack onto lanes by interval partitioning: reuse the
+		// parent's lane (or one already opened for an earlier sibling)
+		// when the previous occupant has ended, otherwise open a new
+		// lane. Every lane then holds a properly nested set of spans,
+		// which is what the complete-event renderer requires.
+		type laneEnd struct {
+			lane int
+			end  int64
+		}
+		lanes := []laneEnd{{lane: lane, end: math.MinInt64}}
+		for _, c := range s.Children {
+			start := c.Start.Sub(root.Start).Microseconds()
+			placed := -1
+			for i := range lanes {
+				if lanes[i].end <= start {
+					placed = i
+					break
+				}
+			}
+			if placed < 0 {
+				lanes = append(lanes, laneEnd{lane: nextLane})
+				nextLane++
+				placed = len(lanes) - 1
+			}
+			lanes[placed].end = start + durMicros(c)
+			emit(c, lanes[placed].lane)
+		}
+	}
+	emit(root, 1)
+	return out
+}
+
+// WriteTrace writes the span tree as a trace-event JSON file.
+func WriteTrace(w io.Writer, root *SpanReport) error {
+	events := TraceEvents(root)
+	if events == nil {
+		events = []TraceEvent{} // keep traceEvents an array, never null
+	}
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// spanEvent renders one span as a complete event relative to base.
+func spanEvent(s *SpanReport, base time.Time, lane int) TraceEvent {
+	ev := TraceEvent{
+		Name: s.Name,
+		Ph:   "X",
+		TS:   s.Start.Sub(base).Microseconds(),
+		Dur:  durMicros(s),
+		PID:  1,
+		TID:  lane,
+	}
+	if len(s.Attrs) > 0 || s.AllocBytes > 0 || s.Mallocs > 0 {
+		ev.Args = make(map[string]any, len(s.Attrs)+2)
+		if s.AllocBytes > 0 {
+			ev.Args["alloc_bytes"] = s.AllocBytes
+		}
+		if s.Mallocs > 0 {
+			ev.Args["mallocs"] = s.Mallocs
+		}
+		for _, a := range s.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	return ev
+}
+
+// durMicros converts the report's millisecond duration to whole
+// microseconds.
+func durMicros(s *SpanReport) int64 {
+	return int64(math.Round(s.DurationMS * 1000))
+}

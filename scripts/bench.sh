@@ -1,24 +1,30 @@
 #!/bin/sh
 # bench.sh — run the PR's key benchmarks with -benchmem and distill
-# them into BENCH_pr3.json: one entry per benchmark (ns/op, B/op,
-# allocs/op) plus the RunTrend parallel speedup (workers=1 vs the
-# largest pool) and the host's parallelism facts. Core counts come from
-# the Go runtime (scripts/benchhost.go) rather than nproc: PR2's
-# container-confined nproc recorded "cores": 1, which made its speedup
-# numbers uninterpretable.
+# them into BENCH_pr6.json: one entry per benchmark (ns/op, B/op,
+# allocs/op, the GOMAXPROCS it ran under) plus a run_trend_speedup
+# block with the per-worker speedup of the parallel longitudinal sweep
+# against its sequential baseline. The RunTrend matrix runs twice: at
+# the host's native GOMAXPROCS and again pinned to 8 via `go test
+# -cpu 8` (entries carry a "-8" name suffix and "cores": 8) — on a
+# small host the second run oversubscribes the scheduler, so its
+# speedup measures scheduling overhead rather than parallelism, but it
+# is measured, not assumed. Core counts come from the Go runtime
+# (scripts/benchhost.go) rather than nproc: PR2's container-confined
+# nproc recorded "cores": 1, which made its speedup numbers
+# uninterpretable.
 #
 # Usage:
-#   scripts/bench.sh            run benchmarks, write BENCH_pr3.json,
+#   scripts/bench.sh            run benchmarks, write BENCH_pr6.json,
 #                               and (if a previous BENCH_*.json exists)
 #                               print per-benchmark deltas against it
-#   scripts/bench.sh compare    just diff BENCH_pr3.json against the
+#   scripts/bench.sh compare    just diff BENCH_pr6.json against the
 #                               previous BENCH_*.json
 # Run via `make bench` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr3.json
+OUT=BENCH_pr6.json
 
 # prev_bench prints the newest BENCH_*.json that is not $OUT.
 prev_bench() {
@@ -51,6 +57,10 @@ echo "== root benchmarks (end-to-end pipeline)"
 go test -run xxx -bench 'BenchmarkAtomComputation$|BenchmarkSnapshotBuildFastPath$|BenchmarkRunTrendParallel' \
     -benchmem -benchtime 2x . | tee -a "$RAW"
 
+echo "== RunTrend matrix at GOMAXPROCS=8 (-cpu 8)"
+go test -run xxx -bench 'BenchmarkRunTrendParallel' -cpu 8 \
+    -benchmem -benchtime 2x . | tee -a "$RAW"
+
 echo "== core benchmarks (sharded grouping, origin kernel)"
 go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin' \
     -benchmem ./internal/core/ | tee -a "$RAW"
@@ -63,34 +73,56 @@ awk -v numcpu="$NUMCPU" -v maxprocs="$MAXPROCS" '
 BEGIN { n = 0 }
 /^Benchmark/ && / ns\/op/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    # A trailing -N is the GOMAXPROCS the benchmark ran under (Go omits
+    # it when GOMAXPROCS is 1). Keep it in the name — the -cpu 8 rerun
+    # must not collide with the native entry — and record it as cores.
+    cores = maxprocs
+    if (match(name, /-[0-9]+$/)) cores = substr(name, RSTART + 1)
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns[name] = $i
         if ($(i+1) == "B/op")      bytes[name] = $i
         if ($(i+1) == "allocs/op") allocs[name] = $i
     }
-    order[n++] = name
+    if (!(name in core)) order[n++] = name
+    core[name] = cores
+}
+function basekey(name,  suffix) {
+    # Baseline key for a workers=N entry: same -cpu suffix, workers=1.
+    suffix = ""
+    if (match(name, /-[0-9]+$/)) suffix = substr(name, RSTART)
+    return "BenchmarkRunTrendParallel/workers=1" suffix
 }
 END {
-    printf "{\n  \"bench\": \"pr3 flat matrix + zero-alloc hot paths\",\n"
+    printf "{\n  \"bench\": \"pr6 live observability: /metrics exposition, trace export, runtime sampling (flags off)\",\n"
     printf "  \"cores\": %d,\n", numcpu
     printf "  \"gomaxprocs\": %d,\n", maxprocs
     printf "  \"results\": [\n"
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n", \
-            name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+        printf "    {\"name\": \"%s\", \"cores\": %d, \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, core[name], ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
     }
     printf "  ]"
-    base = ns["BenchmarkRunTrendParallel/workers=1"]
-    best = ""
+    m = 0; bestsp = 0; best = ""
     for (i = 0; i < n; i++) {
-        if (order[i] ~ /^BenchmarkRunTrendParallel\/workers=/ && order[i] != "BenchmarkRunTrendParallel/workers=1")
-            best = order[i]   # benchmarks run in ascending worker order
+        name = order[i]
+        if (name !~ /^BenchmarkRunTrendParallel\/workers=/) continue
+        if (name ~ /^BenchmarkRunTrendParallel\/workers=1(-[0-9]+)?$/) continue
+        bk = basekey(name)
+        if (!(bk in ns) || ns[name] <= 0) continue
+        sp = ns[bk] / ns[name]
+        perw[m++] = sprintf("{\"name\": \"%s\", \"cores\": %d, \"speedup\": %.3f}", name, core[name], sp)
+        if (sp > bestsp) {
+            bestsp = sp
+            best = sprintf("{\"name\": \"%s\", \"cores\": %d, \"speedup\": %.3f}", name, core[name], sp)
+        }
     }
-    if (base != "" && best != "" && ns[best] > 0)
-        printf ",\n  \"run_trend_speedup\": {\"baseline\": \"workers=1\", \"against\": \"%s\", \"speedup\": %.3f}", \
-            best, base / ns[best]
+    if (m > 0) {
+        printf ",\n  \"run_trend_speedup\": {\n    \"baseline\": \"workers=1 at the same GOMAXPROCS\",\n    \"per_worker\": [\n"
+        for (i = 0; i < m; i++)
+            printf "      %s%s\n", perw[i], (i < m-1 ? "," : "")
+        printf "    ],\n    \"best\": %s\n  }", best
+    }
     printf "\n}\n"
 }' "$RAW" > "$OUT"
 

@@ -1,0 +1,198 @@
+//go:build ignore
+
+// obssmoke drives one live atomrepro run with every observability flag
+// on and verifies the run from the outside, the way an operator would:
+// it waits for the debug server's announce line on stderr, scrapes
+// /healthz, /metrics (linted against the repo's exposition conventions
+// via obs.LintPromText), and /runreport while the run is in flight,
+// then checks the -progress JSON stream and the -trace-out file after
+// exit. Everything asserted here is the operator-facing contract; a
+// change that breaks it breaks real dashboards, not just tests.
+//
+// Usage: go run scripts/obssmoke.go
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obssmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// get fetches one debug endpoint with a deadline and returns the body.
+func get(url string) string {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("GET %s: read: %v", url, err)
+	}
+	return string(body)
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "obssmoke")
+	if err != nil {
+		fail("mkdtemp: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	tracePath := filepath.Join(tmp, "run.trace.json")
+
+	cmd := exec.Command("go", "run", "./cmd/atomrepro",
+		"-run", "table1", "-scale", "0.004",
+		"-listen", "127.0.0.1:0", "-sample", "50ms", "-progress",
+		"-trace-out", tracePath)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fail("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fail("start: %v", err)
+	}
+
+	// Stderr carries three kinds of lines: the one-time announce line
+	// with the bound address, -progress JSON events, and anything the
+	// toolchain prints. Scrapes happen inline the moment the address
+	// appears — the run is still executing eras then, so /metrics and
+	// /runreport reflect a run in flight, not a finished one.
+	const announce = ": observability on http://"
+	scraped := false
+	events := map[string]int{}
+	sc := bufio.NewScanner(stderr)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, announce); i >= 0 {
+			addr := line[i+len(announce):]
+			if j := strings.Index(addr, "/"); j >= 0 {
+				addr = addr[:j]
+			}
+			base := "http://" + addr
+			scrape(base)
+			scraped = true
+			continue
+		}
+		var ev struct {
+			Event string `json:"event"`
+		}
+		if json.Unmarshal([]byte(line), &ev) == nil && ev.Event != "" {
+			events[ev.Event]++
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fail("atomrepro exited: %v", err)
+	}
+	if !scraped {
+		fail("announce line never appeared on stderr")
+	}
+	// table1 runs two eras; Obs.Finish closes the stream with run_done.
+	if events["era_done"] < 1 {
+		fail("no era_done progress events (saw %v)", events)
+	}
+	if events["run_done"] != 1 {
+		fail("run_done events = %d, want 1 (saw %v)", events["run_done"], events)
+	}
+	checkTrace(tracePath)
+	fmt.Println("obssmoke: OK (scraped live /metrics, /healthz, /runreport; progress stream and trace round-trip verified)")
+}
+
+// scrape hits every debug endpoint while the run is live.
+func scrape(base string) {
+	health := get(base + "/healthz")
+	var h struct {
+		Status string `json:"status"`
+		Tool   string `json:"tool"`
+	}
+	if err := json.Unmarshal([]byte(health), &h); err != nil {
+		fail("/healthz not JSON: %v\n%s", err, health)
+	}
+	if h.Status != "ok" || h.Tool != "atomrepro" {
+		fail("/healthz = %+v", h)
+	}
+
+	metrics := get(base + "/metrics")
+	if problems := obs.LintPromText(metrics); len(problems) > 0 {
+		fail("/metrics violates exposition conventions:\n  %s", strings.Join(problems, "\n  "))
+	}
+	if !strings.Contains(metrics, "atom_runtime_goroutines") {
+		fail("/metrics missing the sampler's runtime gauges:\n%s", metrics)
+	}
+
+	report := get(base + "/runreport")
+	var rep struct {
+		Tool string `json:"tool"`
+		Span struct {
+			Name string `json:"name"`
+		} `json:"span"`
+	}
+	if err := json.Unmarshal([]byte(report), &rep); err != nil {
+		fail("/runreport not JSON: %v", err)
+	}
+	if rep.Tool != "atomrepro" || rep.Span.Name != "atomrepro" {
+		fail("/runreport = %+v", rep)
+	}
+}
+
+// checkTrace round-trips the -trace-out file: a Perfetto-loadable
+// object whose X events all carry ph/ts/dur/name.
+func checkTrace(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("trace-out: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TS   *float64        `json:"ts"`
+			Dur  *float64        `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		fail("trace-out not JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		fail("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	complete := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		complete++
+		names[ev.Name] = true
+		if ev.TS == nil || ev.Dur == nil || ev.Name == "" {
+			fail("X event missing ts/dur/name: %+v", ev)
+		}
+	}
+	if complete == 0 {
+		fail("trace has no complete (X) events")
+	}
+	if !names["atomrepro"] || !names["experiment"] {
+		fail("trace missing root/experiment spans: %v", names)
+	}
+}

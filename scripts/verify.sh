@@ -3,8 +3,10 @@
 # tests, a race-detector smoke of the concurrency-sensitive packages
 # (the obs instruments are lock-free atomics; bgpstream caches counters;
 # collector and routing fan work out to the pool), the fault-injection
-# harness under -race, coverage floors on the packages the fault model
-# hardens, and short fuzz smokes of the wire codecs. Run via
+# harness under -race, a live-observability smoke (start atomrepro with
+# -listen, scrape /metrics and /healthz mid-run, lint the exposition),
+# coverage floors on the packages the fault model hardens plus the
+# observability layer, and short fuzz smokes of the wire codecs. Run via
 # `make verify` or directly. Coverage profiles land in coverage/ (the
 # CI artifact).
 set -eu
@@ -60,11 +62,15 @@ go test -race -count=1 -run 'Determinism' ./internal/core/ ./internal/longitudin
 echo "== go test -race (fault-injection harness: absorb or contain, never silent)"
 go test -race -count=1 -run 'TestHarness' ./internal/faultgen/harness/
 
+echo "== live observability smoke (atomrepro -listen: scrape /metrics, /healthz, /runreport; promlint)"
+go run scripts/obssmoke.go
+
 echo "== coverage floors (profiles in coverage/)"
 mkdir -p coverage
 check_coverage internal/bgpstream 90
 check_coverage internal/sanitize 84
 check_coverage internal/mrt 90
+check_coverage internal/obs 85
 
 echo "== fuzz smoke (5s per wire codec + reader resync loop)"
 go test -fuzz FuzzParseMessage -fuzztime 5s -run '^$' ./internal/mrt/
