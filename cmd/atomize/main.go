@@ -75,6 +75,7 @@ func main() {
 		}
 		us := bgpstream.NewStream(nil, cli.LoadSources(tool, paths)...)
 		us.SetMetrics(o.Registry)
+		us.SetWorkers(*workers)
 		if _, err := us.All(); err != nil {
 			cli.Fatal(tool, err)
 		}

@@ -172,3 +172,35 @@ func TestGoldenExperiment(t *testing.T) {
 	}
 	checkGolden(t, "table1.txt", buf.Bytes())
 }
+
+// TestExperimentDeterministicAcrossDecodeWorkers renders Table 1 with
+// sequential decode and with the full fan-out (workers=8: per-source
+// decode, snapshot build, atom grouping all parallel) and demands
+// byte-identical text. This is the end-to-end face of the stream
+// merge-order contract: no worker count may move a single character of
+// a published table.
+func TestExperimentDeterministicAcrossDecodeWorkers(t *testing.T) {
+	e, ok := experiments.ByID("table1")
+	if !ok {
+		t.Fatal("experiment table1 not registered")
+	}
+	render := func(workers int) []byte {
+		cfg := longitudinal.DefaultConfig(7)
+		cfg.Scale = 0.004
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		if err := e.Run(cfg, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := render(1)
+	eight := render(8)
+	if !bytes.Equal(one, eight) {
+		i := 0
+		for i < len(one) && i < len(eight) && one[i] == eight[i] {
+			i++
+		}
+		t.Errorf("table1 output diverges between decode workers 1 and 8 at byte %d\nworkers=1:\n%s\nworkers=8:\n%s", i, one, eight)
+	}
+}

@@ -91,7 +91,15 @@ func (p Path) Sequence() (Seq, error) {
 	for _, s := range p.Segments {
 		n += len(s.ASNs)
 	}
-	out := make(Seq, 0, n)
+	return p.AppendSequence(make(Seq, 0, n))
+}
+
+// AppendSequence is Sequence without the allocation: the flattened
+// sequence is appended onto buf (pass buf[:0] to reuse a scratch
+// buffer) and the extended slice returned. Decode hot paths use it to
+// flatten every element's path into one reused buffer before interning.
+func (p Path) AppendSequence(buf Seq) (Seq, error) {
+	out := buf
 	for _, s := range p.Segments {
 		switch s.Type {
 		case SegSequence:
@@ -307,17 +315,22 @@ func (s Seq) UniqueLen() int {
 }
 
 // HasLoop reports whether any AS appears in two non-adjacent runs — a
-// routing loop (prepending runs do not count as loops).
+// routing loop (prepending runs do not count as loops). Quadratic in
+// the number of runs, which beats a hash set at real AS-path lengths
+// (a handful of hops) and keeps the sanitize hot loop allocation-free.
 func (s Seq) HasLoop() bool {
-	seen := make(map[uint32]struct{}, len(s))
-	for i, a := range s {
-		if i > 0 && a == s[i-1] {
-			continue
+	for i := range s {
+		if i > 0 && s[i] == s[i-1] {
+			continue // not the head of a run
 		}
-		if _, ok := seen[a]; ok {
-			return true
+		for j := 0; j < i; j++ {
+			if j > 0 && s[j] == s[j-1] {
+				continue
+			}
+			if s[j] == s[i] {
+				return true // two runs headed by the same AS
+			}
 		}
-		seen[a] = struct{}{}
 	}
 	return false
 }

@@ -38,6 +38,10 @@ type Table struct {
 	shards [numShards]tableShard
 	seqMu  sync.Mutex            // serializes appends to the seqs slice
 	seqs   atomic.Pointer[[]Seq] // index = ID; (*seqs)[0] is nil (the empty path)
+	// arena backs the stored copies of interned sequences in chunked
+	// blocks (guarded by seqMu), so a table ingesting k distinct paths
+	// costs ~k/thousands block allocations instead of k Clones.
+	arena []uint32
 }
 
 // NewTable returns an empty table containing only the empty path.
@@ -120,11 +124,30 @@ func (t *Table) internSlow(sh *tableShard, buf []byte, seq Seq) ID {
 	t.seqMu.Lock()
 	cur := *t.seqs.Load()
 	id := ID(len(cur))
-	next := append(cur, seq.Clone())
+	next := append(cur, t.store(seq))
 	t.seqs.Store(&next)
 	t.seqMu.Unlock()
 	sh.ids[string(buf)] = id
 	return id
+}
+
+// seqArenaBlock sizes the arena blocks backing stored sequences.
+const seqArenaBlock = 1 << 14
+
+// store copies seq into the table-owned arena (called under seqMu).
+// The returned slice is capacity-capped so later appends cannot bleed
+// into the next stored sequence.
+func (t *Table) store(seq Seq) Seq {
+	n := len(seq)
+	if n > seqArenaBlock {
+		return seq.Clone()
+	}
+	if cap(t.arena)-len(t.arena) < n {
+		t.arena = make([]uint32, 0, seqArenaBlock)
+	}
+	off := len(t.arena)
+	t.arena = append(t.arena, seq...)
+	return t.arena[off : off+n : off+n]
 }
 
 // Lookup returns the ID for seq without interning, and false if the

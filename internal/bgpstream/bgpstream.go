@@ -8,10 +8,29 @@
 // recorded as Warnings, mirroring how the paper's pipeline turns
 // BGPStream warnings ("unknown BGP4MP record subtype 9", ADD-PATH parse
 // errors) into abnormal-peer signals (§A8.3).
+//
+// # Decode architecture
+//
+// Every source gets its own sourceDecoder: reader, peer table, scratch
+// buffers, warning list and degradation accounting all live per source,
+// so sources are independent decode units. The Stream is a deterministic
+// merge over those units: elements are served strictly in source order,
+// and within a source in record order, with MsgIndex rebased onto a
+// global sequence as batches are served. That makes the element stream
+// byte-identical at any worker count:
+//
+//   - workers <= 1 (default): classic streaming — one record of the
+//     current source is decoded per fill, buffers are recycled.
+//   - workers > 1 (SetWorkers): every source is decoded to completion on
+//     the parallel worker pool first (trading memory for throughput),
+//     then served in the same order the sequential mode would produce.
+//
+// Byte-backed sources take the zero-copy fast path: records are read by
+// mrt.BytesReader, whose Record.Body sub-slices Source.Data with no
+// bufio layer and no per-record copy.
 package bgpstream
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"net/netip"
@@ -21,6 +40,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/mrt"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // ElemType classifies a stream element.
@@ -67,6 +87,13 @@ type Elem struct {
 	// MsgIndex groups elements that arrived in the same BGP UPDATE (or
 	// the same RIB record). Unique per Stream.
 	MsgIndex int
+	// InternedPath is the intern-table ID of the flattened Path when the
+	// stream interns paths (SetIntern) and this is a RIB or announce
+	// element whose path flattened cleanly; PathUnusable reports that the
+	// flattening failed (an AS_SET with multiple members or a
+	// confederation segment). Without an intern table both stay zero.
+	InternedPath aspath.ID
+	PathUnusable bool
 	// OldState/NewState are set on ElemState.
 	OldState, NewState uint16
 }
@@ -128,12 +155,31 @@ func BytesSource(collector string, data []byte, opt bgp.Options) Source {
 	return Source{Collector: collector, Data: data, Options: opt}
 }
 
-// open returns a fresh reader over the source.
-func (s *Source) open() io.Reader {
+// recordReader is the reader side of one source: mrt.BytesReader for
+// byte-backed sources, mrt.Reader for io.Reader-backed ones. Both have
+// the same Next/Resync error contract, so the degradation machinery is
+// reader-agnostic.
+type recordReader interface {
+	Next() (mrt.Record, error)
+	Resync(maxScan int) (int, error)
+}
+
+// open returns a fresh record reader over the source. Byte-backed
+// sources take the zero-copy fast path: no bytes.Reader wrapper, no
+// bufio layer, no per-record body copy — every Record.Body is a
+// sub-slice of Data. Warm re-streams of the same Source (RunSplits
+// re-reads the same archives per day) therefore cost one small struct,
+// not a buffer.
+func (s *Source) open() recordReader {
 	if s.Data != nil {
-		return bytes.NewReader(s.Data)
+		return mrt.NewBytesReader(s.Data)
 	}
-	return s.R
+	r := mrt.NewReader(s.R)
+	// Everything decode retains is either copied out of the record body
+	// or owned by the attribute cache, so the reader can hand every
+	// record the same body buffer.
+	r.SetReuseBuffer(true)
+	return r
 }
 
 // Filter selects elements. Zero value passes everything.
@@ -182,35 +228,39 @@ func (f *Filter) Match(e *Elem) bool {
 	return true
 }
 
-// Stream iterates elements across sources in order.
-type Stream struct {
-	sources []Source
-	filter  *Filter
+// sourceDecoder is one source's independent decode unit: reader, peer
+// table, scratch, warnings and degradation accounting. In parallel mode
+// each decoder runs to completion on its own worker; in sequential mode
+// the Stream steps the current decoder one record at a time.
+type sourceDecoder struct {
+	src       Source
+	collector string
+	reader    recordReader
+	inited    bool
+	done      bool
+	judged    bool
 
-	cur       int
-	reader    *mrt.Reader
-	peers     []mrt.Peer // current source's PEER_INDEX_TABLE
-	pending   []Elem
-	pendHead  int // first unread element of pending
-	msgIndex  int
-	warnings  []Warning
-	elemCount []int // per-source emitted elements (pre-filter)
+	peers []mrt.Peer
+	// elems is the decoded element buffer; head marks the first element
+	// not yet served by the Stream merge. MsgIndex values in elems are
+	// source-local (1-based); the merge rebases them.
+	elems    []Elem
+	head     int
+	msgCount int
 
-	// Degradation accounting: per-source decoded/skipped record counts
-	// and resync totals feed the quarantine decision (SetDegradation).
-	srcRecords  []int
-	srcSkipped  []int
-	srcResyncs  []int
+	warnings    []Warning
+	elemCount   int
+	records     int
+	skipped     int
+	resyncs     int
+	bytes       int64
 	resyncsLeft int
-	degradeMin  int
-	degradeMax  float64
-	quarantined map[string]bool
 	stateFlaps  map[uint32]int
 
-	// RIB sequence tracking (per source): TABLE_DUMP_V2 writers emit
-	// strictly consecutive sequence numbers, so a jump between decoded
-	// records means records were lost, duplicated, or reordered even
-	// when every surviving record parses cleanly.
+	// RIB sequence tracking: TABLE_DUMP_V2 writers emit strictly
+	// consecutive sequence numbers, so a jump between decoded records
+	// means records were lost, duplicated, or reordered even when every
+	// surviving record parses cleanly.
 	ribSeqNext  uint32
 	ribSeqValid bool
 
@@ -223,14 +273,52 @@ type Stream struct {
 	upd       bgp.Update
 	ribAttrs  []bgp.Attr
 
+	// Interning (optional): flattened-path scratch and the shared table.
+	intern *aspath.Table
+	seqBuf aspath.Seq
+
+	// Telemetry, snapshotted from the Stream before decoding starts so
+	// workers never build counter keys per record. All nil-safe.
+	metrics     *obs.Registry
+	recordsC    *obs.Counter
+	elemC       [5]*obs.Counter
+	sourceElemC *obs.Counter
+}
+
+// Stream iterates elements across sources in order.
+type Stream struct {
+	sources []Source
+	filter  *Filter
+	workers int
+	intern  *aspath.Table
+
+	decs    []*sourceDecoder
+	running bool
+
+	// Merge cursor: decoders are served strictly in source order;
+	// msgBase is the number of messages the already-served decoders
+	// produced, rebasing source-local MsgIndex onto a global sequence.
+	cur       int
+	msgBase   int
+	batch     []Elem
+	batchHead int
+
+	// Degradation budget (SetDegradation) and the serve-side quarantine
+	// verdicts, judged in source order as the merge passes each source.
+	degradeMin  int
+	degradeMax  float64
+	quarantined map[string]bool
+
+	// attrCache is shared by all decoders in sequential mode (it is not
+	// safe for concurrent use; parallel decoders get their own).
+	attrCache *bgp.AttrCache
+
 	// Telemetry (nil metrics = disabled; hot counters are cached so
 	// the enabled path skips per-record key building).
-	metrics      *obs.Registry
-	recordsC     *obs.Counter
-	filteredC    *obs.Counter
-	elemC        [5]*obs.Counter // indexed by ElemType
-	sourceElemC  *obs.Counter    // current source's per-collector counter
-	sourceForCtr int             // source index sourceElemC was built for
+	metrics   *obs.Registry
+	recordsC  *obs.Counter
+	filteredC *obs.Counter
+	elemC     [5]*obs.Counter // indexed by ElemType
 }
 
 // NewStream builds a stream over the sources, applying the filter (nil
@@ -238,13 +326,8 @@ type Stream struct {
 func NewStream(filter *Filter, sources ...Source) *Stream {
 	return &Stream{
 		sources: sources, filter: filter,
-		elemCount:  make([]int, len(sources)),
-		srcRecords: make([]int, len(sources)),
-		srcSkipped: make([]int, len(sources)),
-		srcResyncs: make([]int, len(sources)),
 		degradeMin: DefaultDegradeMinRecords, degradeMax: DefaultDegradeMaxSkipRatio,
-		sourceForCtr: -1,
-		attrCache:    bgp.NewAttrCache(),
+		attrCache: bgp.NewAttrCache(),
 	}
 }
 
@@ -273,6 +356,21 @@ func (s *Stream) SetDegradation(minRecords int, maxSkipRatio float64) {
 	s.degradeMax = maxSkipRatio
 }
 
+// SetWorkers sets the decode fan-out. n > 1 decodes every source
+// concurrently (n caps the worker count) before elements are served;
+// n <= 0 means one worker per CPU, the repo-wide -workers convention;
+// n == 1 keeps the classic sequential streaming decode. The served
+// element order is byte-identical at every worker count. Must be called
+// before the first Next/NextBatch.
+func (s *Stream) SetWorkers(n int) { s.workers = parallel.Workers(n) }
+
+// SetIntern gives the stream an AS-path intern table: decoders flatten
+// each RIB/announce element's path and intern it into t — concurrently
+// in parallel mode, which t's striped locks make safe — stamping
+// Elem.InternedPath/PathUnusable so consumers skip the flatten+intern
+// work entirely. Must be called before the first Next/NextBatch.
+func (s *Stream) SetIntern(t *aspath.Table) { s.intern = t }
+
 // Quarantined returns the collectors whose sources blew their
 // degradation budget, sorted. Complete only once the stream has
 // drained (budgets are judged when each source ends).
@@ -288,7 +386,18 @@ func (s *Stream) Quarantined() []string {
 // StateFlaps returns, per peer ASN, how many BGP state-change elements
 // the stream decoded — the raw session-flap signal sanitize's
 // flap-storm filter consumes. Complete once the stream has drained.
-func (s *Stream) StateFlaps() map[uint32]int { return s.stateFlaps }
+func (s *Stream) StateFlaps() map[uint32]int {
+	var out map[uint32]int
+	for _, d := range s.decs {
+		for as, n := range d.stateFlaps {
+			if out == nil {
+				out = make(map[uint32]int)
+			}
+			out[as] += n
+		}
+	}
+	return out
+}
 
 // SourceStat summarizes one collector's degradation accounting.
 type SourceStat struct {
@@ -300,36 +409,53 @@ type SourceStat struct {
 // SourceStats returns per-collector degradation accounting, summed
 // across sources sharing a collector name.
 func (s *Stream) SourceStats() map[string]SourceStat {
+	s.ensureDecoders()
 	out := make(map[string]SourceStat, len(s.sources))
-	for i, src := range s.sources {
-		st := out[src.Collector]
-		st.Records += s.srcRecords[i]
-		st.Skipped += s.srcSkipped[i]
-		st.Resyncs += s.srcResyncs[i]
-		out[src.Collector] = st
+	for _, d := range s.decs {
+		st := out[d.collector]
+		st.Records += d.records
+		st.Skipped += d.skipped
+		st.Resyncs += d.resyncs
+		out[d.collector] = st
 	}
 	return out
 }
 
-// finishSource judges source i's degradation budget as it ends.
-func (s *Stream) finishSource(i int) {
-	total := s.srcRecords[i] + s.srcSkipped[i]
+// DecodedBytes returns the total MRT wire bytes decoded so far, across
+// all sources (headers included). Complete once the stream has drained.
+func (s *Stream) DecodedBytes() int64 {
+	var n int64
+	for _, d := range s.decs {
+		n += d.bytes
+	}
+	return n
+}
+
+// judge applies the degradation budget to a finished decoder, exactly
+// once, as the merge cursor passes it — serve order, so the verdict
+// sequence (and the quarantine warning's position in Warnings) is
+// identical at every worker count.
+func (s *Stream) judge(d *sourceDecoder) {
+	if d.judged {
+		return
+	}
+	d.judged = true
+	total := d.records + d.skipped
 	if s.degradeMin <= 0 || total < s.degradeMin {
 		return
 	}
-	if float64(s.srcSkipped[i])/float64(total) <= s.degradeMax {
+	if float64(d.skipped)/float64(total) <= s.degradeMax {
 		return
 	}
-	name := s.sources[i].Collector
 	if s.quarantined == nil {
 		s.quarantined = make(map[string]bool)
 	}
-	if !s.quarantined[name] {
-		s.quarantined[name] = true
-		s.warn(0, 0, WarnQuarantine, fmt.Sprintf(
-			"source quarantined: %d/%d records skipped", s.srcSkipped[i], total))
+	if !s.quarantined[d.collector] {
+		s.quarantined[d.collector] = true
+		d.warn(0, 0, WarnQuarantine, fmt.Sprintf(
+			"source quarantined: %d/%d records skipped", d.skipped, total))
 		if s.metrics != nil {
-			s.metrics.Counter("bgpstream.source_quarantined", "collector", name).Inc()
+			s.metrics.Counter("bgpstream.source_quarantined", "collector", d.collector).Inc()
 		}
 	}
 }
@@ -343,9 +469,11 @@ func (s *Stream) finishSource(i int) {
 //	bgpstream.records_skipped{reason=...}      records dropped with a warning
 //	bgpstream.warnings{reason=...,subtype=N}   warnings by code and subtype
 //	bgpstream.resyncs / bgpstream.resync_bytes boundary recoveries after corruption
+//	bgpstream.decode_bytes                     MRT wire bytes decoded
 //	bgpstream.source_quarantined{collector=C}  degradation budget exceeded
 //
 // A nil registry (the default) disables all of it at near-zero cost.
+// Must be called before the first Next/NextBatch.
 func (s *Stream) SetMetrics(r *obs.Registry) {
 	s.metrics = r
 	s.recordsC = r.Counter("bgpstream.records")
@@ -353,101 +481,173 @@ func (s *Stream) SetMetrics(r *obs.Registry) {
 	for t := ElemRIB; t <= ElemState; t++ {
 		s.elemC[t] = r.Counter("bgpstream.elems", "type", t.String())
 	}
-	s.sourceForCtr = -1
 }
 
-// Warnings returns parse problems encountered so far.
-func (s *Stream) Warnings() []Warning { return s.warnings }
+// Warnings returns parse problems encountered so far, in source order
+// (within a source, in decode order).
+func (s *Stream) Warnings() []Warning {
+	var out []Warning
+	for _, d := range s.decs {
+		out = append(out, d.warnings...)
+	}
+	return out
+}
 
 // SourceElemCounts returns, per collector, how many elements each
 // source emitted (pre-filter), summed across sources sharing a
 // collector name. A zero count flags an archive that matched but
 // decoded nothing — e.g. a bad -updates glob entry.
 func (s *Stream) SourceElemCounts() map[string]int {
+	s.ensureDecoders()
 	out := make(map[string]int, len(s.sources))
-	for i, src := range s.sources {
-		out[src.Collector] += s.elemCount[i]
+	for _, d := range s.decs {
+		out[d.collector] += d.elemCount
 	}
 	return out
 }
 
-// emit queues an element and does the per-element accounting.
-func (s *Stream) emit(e Elem) {
-	s.pending = append(s.pending, e)
-	s.elemCount[s.cur]++
-	if s.metrics != nil {
-		s.elemC[e.Type].Inc()
-		if s.sourceForCtr != s.cur {
-			s.sourceElemC = s.metrics.Counter("bgpstream.source_elems", "collector", s.sources[s.cur].Collector)
-			s.sourceForCtr = s.cur
+// ensureDecoders creates the per-source decode units (cheap: no I/O, no
+// reader construction — that happens on first step).
+func (s *Stream) ensureDecoders() {
+	if s.decs != nil || len(s.sources) == 0 {
+		return
+	}
+	s.decs = make([]*sourceDecoder, len(s.sources))
+	for i := range s.sources {
+		s.decs[i] = &sourceDecoder{
+			src:       s.sources[i],
+			collector: s.sources[i].Collector,
 		}
-		s.sourceElemC.Inc()
+	}
+}
+
+// ensureRunning finalizes configuration (metrics snapshot, intern
+// table, attribute-cache sharing) and, in parallel mode, decodes every
+// source to completion on the worker pool. Serving then proceeds in
+// deterministic source order either way.
+func (s *Stream) ensureRunning() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.ensureDecoders()
+	par := s.workers > 1 && len(s.decs) > 1
+	for _, d := range s.decs {
+		d.metrics = s.metrics
+		d.recordsC = s.recordsC
+		d.elemC = s.elemC
+		d.intern = s.intern
+		if s.metrics != nil {
+			d.sourceElemC = s.metrics.Counter("bgpstream.source_elems", "collector", d.collector)
+		}
+		if par {
+			// The attribute cache is not safe for concurrent use:
+			// parallel decoders each get their own.
+			d.attrCache = bgp.NewAttrCache()
+		} else {
+			d.attrCache = s.attrCache
+		}
+	}
+	if par {
+		parallel.ForEach(s.workers, len(s.decs), func(i int) error {
+			s.decs[i].drain()
+			return nil
+		})
+	}
+}
+
+// fill advances the merge cursor until a run of decoded elements is
+// staged in s.batch: strictly source order, record order within each
+// source, MsgIndex rebased — the served stream is byte-identical at any
+// worker count. Returns io.EOF when every source has drained.
+//
+//atomlint:hotpath
+func (s *Stream) fill() error {
+	for {
+		if s.cur >= len(s.decs) {
+			return io.EOF
+		}
+		d := s.decs[s.cur]
+		if d.head < len(d.elems) {
+			run := d.elems[d.head:]
+			d.head = len(d.elems)
+			if s.msgBase != 0 {
+				for i := range run {
+					run[i].MsgIndex += s.msgBase
+				}
+			}
+			s.batch = run
+			s.batchHead = 0
+			return nil
+		}
+		if !d.done {
+			// Sequential streaming: recycle the served element buffer
+			// and decode the next record into it.
+			d.elems = d.elems[:0]
+			d.head = 0
+			d.step()
+			continue
+		}
+		s.judge(d)
+		s.msgBase += d.msgCount
+		s.cur++
 	}
 }
 
 // Next returns the next element, or io.EOF when all sources drain.
 func (s *Stream) Next() (Elem, error) {
+	s.ensureRunning()
 	for {
-		if s.pendHead < len(s.pending) {
-			e := s.pending[s.pendHead]
-			s.pendHead++
+		if s.batchHead < len(s.batch) {
+			e := s.batch[s.batchHead]
+			s.batchHead++
 			if s.filter.Match(&e) {
 				return e, nil
 			}
 			s.filteredC.Inc()
 			continue
 		}
-		// Queue drained: rewind it so the next record's elements reuse
-		// the backing array instead of growing it forever.
-		s.pending = s.pending[:0]
-		s.pendHead = 0
-		if s.reader == nil {
-			if s.cur >= len(s.sources) {
-				return Elem{}, io.EOF
+		if err := s.fill(); err != nil {
+			return Elem{}, err
+		}
+	}
+}
+
+// NextBatch returns the next run of elements passing the filter, or
+// io.EOF when all sources drain. The concatenation of batches is
+// exactly the sequence Next would produce, and a batch never spans two
+// sources. The returned slice is valid only until the following
+// Next/NextBatch call — consume (or copy) it before advancing. When the
+// backing source is byte-backed, element payloads may alias Source.Data
+// (see DESIGN.md "Zero-copy ownership").
+//
+//atomlint:hotpath
+func (s *Stream) NextBatch() ([]Elem, error) {
+	s.ensureRunning()
+	for {
+		if s.batchHead >= len(s.batch) {
+			if err := s.fill(); err != nil {
+				return nil, err
 			}
-			s.reader = mrt.NewReader(s.sources[s.cur].open())
-			// Everything decode retains is either copied out of the
-			// record body or owned by attrCache, so the reader can hand
-			// every record the same body buffer.
-			s.reader.SetReuseBuffer(true)
-			s.peers = nil
-			s.resyncsLeft = maxResyncsPerSource
-			s.ribSeqValid = false
 		}
-		rec, err := s.reader.Next()
-		if err == io.EOF {
-			s.finishSource(s.cur)
-			s.reader = nil
-			s.cur++
-			continue
+		b := s.batch[s.batchHead:]
+		s.batchHead = len(s.batch)
+		if s.filter == nil {
+			return b, nil
 		}
-		if err != nil {
-			// A corrupt record boundary: warn, then scan forward for the
-			// next plausible MRT header instead of abandoning the file. A
-			// source that keeps losing framing exhausts its resync budget
-			// and is dropped.
-			s.warn(0, 0, WarnRecordError, fmt.Sprintf("record error: %v", err))
-			if s.resyncsLeft > 0 {
-				s.resyncsLeft--
-				skipped, rerr := s.reader.Resync(maxResyncScan)
-				if rerr == nil {
-					s.srcResyncs[s.cur]++
-					s.warn(0, 0, WarnResync, fmt.Sprintf("resynchronized after %d bytes", skipped))
-					if s.metrics != nil {
-						s.metrics.Counter("bgpstream.resyncs").Inc()
-						s.metrics.Counter("bgpstream.resync_bytes").Add(int64(skipped))
-					}
-					continue
-				}
+		// Compact in place: writes trail reads, so the filtered batch
+		// reuses the decoded buffer without copying.
+		out := b[:0]
+		for i := range b {
+			if s.filter.Match(&b[i]) {
+				out = append(out, b[i])
+			} else {
+				s.filteredC.Inc()
 			}
-			s.finishSource(s.cur)
-			s.reader = nil
-			s.cur++
-			continue
 		}
-		s.recordsC.Inc()
-		s.srcRecords[s.cur]++
-		s.decode(rec)
+		if len(out) > 0 {
+			return out, nil
+		}
 	}
 }
 
@@ -466,9 +666,90 @@ func (s *Stream) All() ([]Elem, error) {
 	}
 }
 
-func (s *Stream) warn(peerASN uint32, subtype uint16, code, reason string) {
-	s.warnings = append(s.warnings, Warning{
-		Collector: s.sources[s.cur].Collector,
+// drain decodes the whole source (parallel mode).
+func (d *sourceDecoder) drain() {
+	for !d.done {
+		d.step()
+	}
+}
+
+// step decodes one record: reader init on first use, EOF/resync
+// handling, then the type dispatch. Mirrors the classic sequential
+// loop exactly so degradation accounting is worker-count independent.
+func (d *sourceDecoder) step() {
+	if d.done {
+		return
+	}
+	if !d.inited {
+		d.inited = true
+		d.reader = d.src.open()
+		d.resyncsLeft = maxResyncsPerSource
+	}
+	rec, err := d.reader.Next()
+	if err == io.EOF {
+		d.finish()
+		return
+	}
+	if err != nil {
+		// A corrupt record boundary: warn, then scan forward for the
+		// next plausible MRT header instead of abandoning the file. A
+		// source that keeps losing framing exhausts its resync budget
+		// and is dropped.
+		d.warn(0, 0, WarnRecordError, fmt.Sprintf("record error: %v", err))
+		if d.resyncsLeft > 0 {
+			d.resyncsLeft--
+			skipped, rerr := d.reader.Resync(maxResyncScan)
+			if rerr == nil {
+				d.resyncs++
+				d.warn(0, 0, WarnResync, fmt.Sprintf("resynchronized after %d bytes", skipped))
+				if d.metrics != nil {
+					d.metrics.Counter("bgpstream.resyncs").Inc()
+					d.metrics.Counter("bgpstream.resync_bytes").Add(int64(skipped))
+				}
+				return
+			}
+		}
+		d.finish()
+		return
+	}
+	d.recordsC.Inc()
+	d.records++
+	d.bytes += int64(len(rec.Body)) + 12
+	if rec.Type == mrt.TypeBGP4MPET {
+		d.bytes += 4
+	}
+	d.decode(rec)
+}
+
+// finish marks the source drained and flushes its byte count.
+func (d *sourceDecoder) finish() {
+	d.done = true
+	if d.metrics != nil && d.bytes != 0 {
+		d.metrics.Counter("bgpstream.decode_bytes").Add(d.bytes)
+	}
+}
+
+// emit queues an element, interning its path when the stream was given
+// an intern table, and does the per-element accounting.
+func (d *sourceDecoder) emit(e Elem) {
+	if d.intern != nil && (e.Type == ElemRIB || e.Type == ElemAnnounce) {
+		seq, err := e.Path.AppendSequence(d.seqBuf[:0])
+		if err != nil {
+			e.PathUnusable = true
+		} else {
+			d.seqBuf = seq
+			e.InternedPath = d.intern.Intern(seq)
+		}
+	}
+	d.elems = append(d.elems, e)
+	d.elemCount++
+	d.elemC[e.Type].Inc()
+	d.sourceElemC.Inc()
+}
+
+func (d *sourceDecoder) warn(peerASN uint32, subtype uint16, code, reason string) {
+	d.warnings = append(d.warnings, Warning{
+		Collector: d.collector,
 		PeerASN:   peerASN,
 		Subtype:   subtype,
 		Code:      code,
@@ -480,115 +761,114 @@ func (s *Stream) warn(peerASN uint32, subtype uint16, code, reason string) {
 	skip := code != WarnAddPathSuspect && code != WarnResync && code != WarnQuarantine &&
 		code != WarnSequenceGap
 	if skip {
-		s.srcSkipped[s.cur]++
+		d.skipped++
 	}
-	if s.metrics != nil {
-		s.metrics.Counter("bgpstream.warnings", "reason", code, "subtype", fmt.Sprint(subtype)).Inc()
+	if d.metrics != nil {
+		d.metrics.Counter("bgpstream.warnings", "reason", code, "subtype", fmt.Sprint(subtype)).Inc()
 		if skip {
-			s.metrics.Counter("bgpstream.records_skipped", "reason", code).Inc()
+			d.metrics.Counter("bgpstream.records_skipped", "reason", code).Inc()
 		}
 	}
 }
 
-func (s *Stream) decode(rec mrt.Record) {
-	src := s.sources[s.cur]
+func (d *sourceDecoder) decode(rec mrt.Record) {
 	switch rec.Type {
 	case mrt.TypeTableDumpV2:
 		switch {
 		case rec.Subtype == mrt.SubPeerIndexTable:
 			pit, err := mrt.ParsePeerIndexTable(rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, WarnPeerIndexTable, fmt.Sprintf("peer index table: %v", err))
+				d.warn(0, rec.Subtype, WarnPeerIndexTable, fmt.Sprintf("peer index table: %v", err))
 				return
 			}
-			s.peers = pit.Peers
+			d.peers = pit.Peers
 		case rec.IsRIB():
 			rib, err := mrt.ParseRIB(rec.Subtype, rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, WarnRIBRecord, fmt.Sprintf("RIB record: %v", err))
+				d.warn(0, rec.Subtype, WarnRIBRecord, fmt.Sprintf("RIB record: %v", err))
 				return
 			}
-			if s.ribSeqValid && rib.Sequence != s.ribSeqNext {
-				s.warn(0, rec.Subtype, WarnSequenceGap,
-					fmt.Sprintf("RIB sequence %d, expected %d: records lost, duplicated, or reordered", rib.Sequence, s.ribSeqNext))
+			if d.ribSeqValid && rib.Sequence != d.ribSeqNext {
+				d.warn(0, rec.Subtype, WarnSequenceGap,
+					fmt.Sprintf("RIB sequence %d, expected %d: records lost, duplicated, or reordered", rib.Sequence, d.ribSeqNext))
 			}
-			s.ribSeqNext, s.ribSeqValid = rib.Sequence+1, true
-			s.msgIndex++
+			d.ribSeqNext, d.ribSeqValid = rib.Sequence+1, true
+			d.msgCount++
 			for _, entry := range rib.Entries {
-				if int(entry.PeerIndex) >= len(s.peers) {
-					s.warn(0, rec.Subtype, WarnPeerIndexRange, fmt.Sprintf("peer index %d out of range", entry.PeerIndex))
+				if int(entry.PeerIndex) >= len(d.peers) {
+					d.warn(0, rec.Subtype, WarnPeerIndexRange, fmt.Sprintf("peer index %d out of range", entry.PeerIndex))
 					continue
 				}
-				peer := s.peers[entry.PeerIndex]
+				peer := d.peers[entry.PeerIndex]
 				// RIB attribute blocks always use 4-octet ASNs (RFC 6396
 				// §4.3.4); ADD-PATH follows the record subtype.
-				attrs, err := bgp.AppendAttributes(s.ribAttrs[:0], entry.Attrs,
-					bgp.Options{AS4: true, AddPath: rib.AddPath, Cache: s.attrCache})
+				attrs, err := bgp.AppendAttributes(d.ribAttrs[:0], entry.Attrs,
+					bgp.Options{AS4: true, AddPath: rib.AddPath, Cache: d.attrCache})
 				if err != nil {
-					s.warn(peer.ASN, rec.Subtype, WarnRIBAttrs, fmt.Sprintf("RIB attributes: %v", err))
+					d.warn(peer.ASN, rec.Subtype, WarnRIBAttrs, fmt.Sprintf("RIB attributes: %v", err))
 					continue
 				}
-				s.ribAttrs = attrs[:0]
+				d.ribAttrs = attrs[:0]
 				e := Elem{
-					Type: ElemRIB, Timestamp: rec.Timestamp, Collector: src.Collector,
+					Type: ElemRIB, Timestamp: rec.Timestamp, Collector: d.collector,
 					PeerAddr: peer.Addr, PeerASN: peer.ASN, Prefix: rib.Prefix,
-					PathID: entry.PathID, MsgIndex: s.msgIndex,
+					PathID: entry.PathID, MsgIndex: d.msgCount,
 				}
 				applyAttrs(&e, attrs)
-				s.emit(e)
+				d.emit(e)
 			}
 		default:
-			s.warn(0, rec.Subtype, WarnUnknownTD2Subtype, fmt.Sprintf("unknown TABLE_DUMP_V2 record subtype %d", rec.Subtype))
+			d.warn(0, rec.Subtype, WarnUnknownTD2Subtype, fmt.Sprintf("unknown TABLE_DUMP_V2 record subtype %d", rec.Subtype))
 		}
 	case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
 		switch rec.Subtype {
 		case mrt.SubStateChange, mrt.SubStateChangeAS4:
 			sc, err := mrt.ParseStateChange(rec.Subtype, rec.Body)
 			if err != nil {
-				s.warn(0, rec.Subtype, WarnStateChange, fmt.Sprintf("state change: %v", err))
+				d.warn(0, rec.Subtype, WarnStateChange, fmt.Sprintf("state change: %v", err))
 				return
 			}
-			s.msgIndex++
-			if s.stateFlaps == nil {
-				s.stateFlaps = make(map[uint32]int)
+			d.msgCount++
+			if d.stateFlaps == nil {
+				d.stateFlaps = make(map[uint32]int)
 			}
-			s.stateFlaps[sc.PeerAS]++
-			s.emit(Elem{
-				Type: ElemState, Timestamp: rec.Timestamp, Collector: src.Collector,
+			d.stateFlaps[sc.PeerAS]++
+			d.emit(Elem{
+				Type: ElemState, Timestamp: rec.Timestamp, Collector: d.collector,
 				PeerAddr: sc.PeerAddr, PeerASN: sc.PeerAS,
-				OldState: sc.OldState, NewState: sc.NewState, MsgIndex: s.msgIndex,
+				OldState: sc.OldState, NewState: sc.NewState, MsgIndex: d.msgCount,
 			})
 		case mrt.SubMessage, mrt.SubMessageAS4, mrt.SubMessageAP, mrt.SubMessageAS4AP:
-			if err := mrt.ParseMessageInto(&s.msg, rec.Subtype, rec.Body); err != nil {
-				s.warn(0, rec.Subtype, WarnBGP4MPMessage, fmt.Sprintf("BGP4MP message: %v", err))
+			if err := mrt.ParseMessageInto(&d.msg, rec.Subtype, rec.Body); err != nil {
+				d.warn(0, rec.Subtype, WarnBGP4MPMessage, fmt.Sprintf("BGP4MP message: %v", err))
 				return
 			}
-			s.decodeUpdate(rec, &s.msg, src)
+			d.decodeUpdate(rec, &d.msg)
 		default:
-			s.warn(0, rec.Subtype, WarnUnknownBGP4MP, fmt.Sprintf("unknown BGP4MP record subtype %d", rec.Subtype))
+			d.warn(0, rec.Subtype, WarnUnknownBGP4MP, fmt.Sprintf("unknown BGP4MP record subtype %d", rec.Subtype))
 		}
 	default:
-		s.warn(0, rec.Subtype, WarnUnknownMRTType, fmt.Sprintf("unknown MRT record type %d", rec.Type))
+		d.warn(0, rec.Subtype, WarnUnknownMRTType, fmt.Sprintf("unknown MRT record type %d", rec.Type))
 	}
 }
 
-func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
+func (d *sourceDecoder) decodeUpdate(rec mrt.Record, msg *mrt.Message) {
 	h, err := bgp.ParseHeader(msg.Data)
 	if err != nil {
-		s.warn(msg.PeerAS, rec.Subtype, WarnBGPHeader, fmt.Sprintf("BGP header: %v", err))
+		d.warn(msg.PeerAS, rec.Subtype, WarnBGPHeader, fmt.Sprintf("BGP header: %v", err))
 		return
 	}
 	if h.Type != bgp.MsgUpdate {
 		// Keepalives etc. are legal in archives; ignore silently.
 		return
 	}
-	opt := src.Options
+	opt := d.src.Options
 	opt.AS4 = msg.AS4
 	opt.AddPath = msg.AddPath
-	opt.Cache = s.attrCache
-	u := &s.upd
+	opt.Cache = d.attrCache
+	u := &d.upd
 	if err := bgp.ParseUpdateInto(u, msg.Data, opt); err != nil {
-		s.warn(msg.PeerAS, rec.Subtype, WarnUpdateParse, fmt.Sprintf("UPDATE parse: %v", err))
+		d.warn(msg.PeerAS, rec.Subtype, WarnUpdateParse, fmt.Sprintf("UPDATE parse: %v", err))
 		return
 	}
 	// MP_REACH/MP_UNREACH NLRI are folded in without the copying
@@ -604,12 +884,12 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 	// turns the 4-byte path identifiers into phantom default routes.
 	// Two or more /0 entries in one message is never legitimate.
 	if zeroLen(u.Announced)+zeroLen(mpAnn)+zeroLen(u.Withdrawn)+zeroLen(mpWdr) >= 2 {
-		s.warn(msg.PeerAS, rec.Subtype, WarnAddPathSuspect, "suspicious NLRI: repeated zero-length prefixes (possible ADD-PATH mismatch)")
+		d.warn(msg.PeerAS, rec.Subtype, WarnAddPathSuspect, "suspicious NLRI: repeated zero-length prefixes (possible ADD-PATH mismatch)")
 	}
-	s.msgIndex++
+	d.msgCount++
 	base := Elem{
-		Timestamp: rec.Timestamp, Collector: src.Collector,
-		PeerAddr: msg.PeerAddr, PeerASN: msg.PeerAS, MsgIndex: s.msgIndex,
+		Timestamp: rec.Timestamp, Collector: d.collector,
+		PeerAddr: msg.PeerAddr, PeerASN: msg.PeerAS, MsgIndex: d.msgCount,
 	}
 	var path aspath.Path
 	if p, ok := u.ASPathAttr(); ok {
@@ -629,7 +909,7 @@ func (s *Stream) decodeUpdate(rec mrt.Record, msg *mrt.Message, src Source) {
 				e.Path = path
 				e.Communities = comms
 			}
-			s.emit(e)
+			d.emit(e)
 		}
 	}
 	emitAll(ElemWithdraw, u.Withdrawn)

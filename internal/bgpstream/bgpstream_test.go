@@ -15,7 +15,7 @@ import (
 // buildArchive assembles an in-memory MRT archive with a peer table, two
 // RIB records, one 2-prefix update, one withdraw, a state change, and an
 // unknown-subtype record.
-func buildArchive(t *testing.T) []byte {
+func buildArchive(t testing.TB) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	w := mrt.NewWriter(&buf)

@@ -18,20 +18,86 @@ import (
 // is recognized and allowed.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "flag allocating constructs in //atomlint:hotpath functions",
+	Doc:  "flag allocating constructs in //atomlint:hotpath functions; require the annotation on the pinned decode kernels",
 	Run:  runHotpath,
 }
 
+// requiredHotpaths lists, per package (matched by import-path suffix
+// under "internal", like the other scoped sweeps), the functions whose
+// allocation-freedom is pinned by AllocsPerRun tests and benches. Each
+// must carry //atomlint:hotpath so the sweep above covers it: a present
+// but unannotated function is a finding, and a listed name with no
+// matching declaration is also a finding — a rename cannot silently
+// drop a kernel out of enforcement. Names use the display form
+// "(*T).Name" / "T.Name" / "Name".
+var requiredHotpaths = []struct {
+	pkg string
+	fns []string
+}{
+	{"mrt", []string{"(*BytesReader).Next"}},
+	{"bgpstream", []string{"(*Stream).fill", "(*Stream).NextBatch"}},
+	{"aspath", []string{"(*Table).Intern", "(*Table).Lookup"}},
+}
+
 func runHotpath(pass *Pass) {
+	decls := make(map[string]*ast.FuncDecl)
+	annotated := make(map[string]bool)
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !funcHasAnnotation(fd, "hotpath") {
+			if !ok || fd.Body == nil {
 				continue
 			}
+			name := funcDisplayName(fd)
+			decls[name] = fd
+			if !funcHasAnnotation(fd, "hotpath") {
+				continue
+			}
+			annotated[name] = true
 			checkHotpathFunc(pass, fd)
 		}
 	}
+	checkRequiredHotpaths(pass, decls, annotated)
+}
+
+// checkRequiredHotpaths enforces the requiredHotpaths table for the
+// package under analysis. Missing functions are reported at the first
+// file's package clause — the finding is about the package's surface,
+// not any one declaration.
+func checkRequiredHotpaths(pass *Pass, decls map[string]*ast.FuncDecl, annotated map[string]bool) {
+	for _, req := range requiredHotpaths {
+		if !hasSuffixPath(pass.Pkg.Path, []string{req.pkg}, "internal") {
+			continue
+		}
+		for _, fn := range req.fns {
+			if annotated[fn] {
+				continue
+			}
+			if fd, ok := decls[fn]; ok {
+				pass.Reportf(fd.Pos(), "%s is a pinned hot-path kernel: it must carry //atomlint:hotpath so alloc regressions fail lint", fn)
+			} else if len(pass.Pkg.Files) > 0 {
+				pass.Reportf(pass.Pkg.Files[0].Name.Pos(), "required hot-path function %s not found in package: update requiredHotpaths if it was renamed", fn)
+			}
+		}
+	}
+}
+
+// funcDisplayName renders a FuncDecl the way requiredHotpaths spells
+// it: "Name" for plain functions, "T.Name" for value receivers,
+// "(*T).Name" for pointer receivers.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	case *ast.Ident:
+		return t.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
 }
 
 func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {

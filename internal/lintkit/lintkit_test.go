@@ -101,8 +101,25 @@ func TestHotpathFixture(t *testing.T) {
 	checkFixture(t, "hotpath", "repro/internal/hotfix", All)
 }
 
+func TestHotpathRequiredFixture(t *testing.T) {
+	checkFixture(t, "hotreq", "repro/internal/bgpstream", All)
+}
+
+// TestHotpathRequiredScope pins the required-kernel sweep's package
+// matching: the same fixture under an unlisted path is silent — the
+// table binds names to specific packages, not the whole tree.
+func TestHotpathRequiredScope(t *testing.T) {
+	pkg := loadFixtureT(t, "hotreq", "repro/internal/textplot")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Hotpath}); len(diags) != 0 {
+		t.Errorf("hotreq fixture under internal/textplot: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+}
+
+// The wiresafety fixture loads as internal/bgp (also in the wire
+// scope): under internal/mrt the hotpath analyzer's required-kernel
+// table would demand (*BytesReader).Next.
 func TestWireSafetyFixture(t *testing.T) {
-	checkFixture(t, "wiresafety", "repro/internal/mrt", All)
+	checkFixture(t, "wiresafety", "repro/internal/bgp", All)
 }
 
 func TestLocksFixture(t *testing.T) {
@@ -146,7 +163,8 @@ func TestFixtureSilentWithAnalyzerDisabled(t *testing.T) {
 		{"determinism", "repro/internal/core", Determinism},
 		{"clockseam", "repro/internal/obs", Determinism},
 		{"hotpath", "repro/internal/hotfix", Hotpath},
-		{"wiresafety", "repro/internal/mrt", WireSafety},
+		{"hotreq", "repro/internal/bgpstream", Hotpath},
+		{"wiresafety", "repro/internal/bgp", WireSafety},
 		{"locks", "repro/internal/lockfix", Locks},
 	}
 	for _, tc := range cases {

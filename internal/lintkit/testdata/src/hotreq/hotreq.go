@@ -1,0 +1,29 @@
+// Package bgpstream is the required-hotpath fixture: the pinned batch
+// kernel exists but lost its annotation, and the second pinned name has
+// no declaration at all (as if renamed without updating the analyzer's
+// table).
+package bgpstream // want "required hot-path function (*Stream).NextBatch not found in package"
+
+// Stream is a stand-in for the decode stream.
+type Stream struct {
+	batch []int
+	head  int
+}
+
+// fill refills the batch cursor. The real kernel carries
+// //atomlint:hotpath; this one dropped it.
+func (s *Stream) fill() bool { // want "pinned hot-path kernel"
+	if s.head < len(s.batch) {
+		return true
+	}
+	s.head = 0
+	return false
+}
+
+// drain is not in the required table, so its lack of annotation is
+// fine — and without the annotation its allocations are not swept.
+func (s *Stream) drain() []int {
+	out := make([]int, 0, len(s.batch))
+	out = append(out, s.batch[s.head:]...)
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/aspath"
 	"repro/internal/bgp"
 	"repro/internal/bgpstream"
 	"repro/internal/collector"
@@ -119,6 +120,14 @@ type EraRun struct {
 	vps      []uint32
 	warnings []bgpstream.Warning
 	warnOnce bool
+
+	// intern is the era's shared AS-path intern table: every snapshot of
+	// the era sanitizes against it, so the second and later snapshots
+	// (offsets differ by hours to days — most paths recur) intern almost
+	// entirely on the allocation-free hit path. Safe because snapshot
+	// consumers compare paths by ID equality or by value, never by raw
+	// ID across snapshots (the PR2 invariant).
+	intern *aspath.Table
 }
 
 // NewEraRun generates the era's world.
@@ -160,7 +169,8 @@ func NewEraRun(cfg Config, era topology.Era) *EraRun {
 		VPShiftShare:       cfg.VPShiftShare,
 		RefreshRate:        cfg.RefreshRate.At(era),
 	}
-	run := &EraRun{Cfg: cfg, Era: era, Graph: g, Infra: in, Model: model, vps: in.FullFeedASNs()}
+	run := &EraRun{Cfg: cfg, Era: era, Graph: g, Infra: in, Model: model, vps: in.FullFeedASNs(),
+		intern: aspath.NewTable()}
 	sp.SetAttr("ases", g.NumASes())
 	sp.SetAttr("collectors", len(in.Collectors))
 	sp.SetAttr("full_feeds", len(run.vps))
@@ -183,6 +193,9 @@ func (r *EraRun) sanitizeOptions() sanitize.Options {
 	}
 	if opts.Workers == 0 {
 		opts.Workers = r.Cfg.Workers
+	}
+	if opts.Intern == nil {
+		opts.Intern = r.intern
 	}
 	return opts
 }
@@ -279,7 +292,7 @@ func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstrea
 		V4Only: r.Cfg.Family == 4,
 		V6Only: r.Cfg.Family == 6,
 	}
-	return metrics.CollectRecordsObs(sources, filter, r.Cfg.Metrics, sp)
+	return metrics.CollectRecordsObs(sources, filter, r.Cfg.Workers, r.Cfg.Metrics, sp)
 }
 
 // updateWarnings lazily computes the standard 4-hour update window's

@@ -26,16 +26,19 @@ type UpdateRecord struct {
 // CollectRecords drains update sources into per-message prefix sets
 // (announcements and withdrawals together, deduplicated).
 func CollectRecords(sources []bgpstream.Source, filter *bgpstream.Filter) ([]UpdateRecord, []bgpstream.Warning, error) {
-	return CollectRecordsObs(sources, filter, nil, nil)
+	return CollectRecordsObs(sources, filter, 1, nil, nil)
 }
 
-// CollectRecordsObs is CollectRecords with telemetry: a non-nil reg
-// receives the stream's decode counters plus metrics.update_records
-// and a metrics.update_record_size histogram; a non-nil parent
-// receives a child span with source/record cardinalities.
-func CollectRecordsObs(sources []bgpstream.Source, filter *bgpstream.Filter, reg *obs.Registry, parent *obs.Span) ([]UpdateRecord, []bgpstream.Warning, error) {
+// CollectRecordsObs is CollectRecords with decode fan-out and
+// telemetry: workers sets the stream's per-source decode parallelism
+// (0 = one per CPU, 1 = sequential; the record sequence is identical
+// at any value); a non-nil reg receives the stream's decode counters
+// plus metrics.update_records and a metrics.update_record_size
+// histogram; a non-nil parent receives a child span with source/record
+// cardinalities.
+func CollectRecordsObs(sources []bgpstream.Source, filter *bgpstream.Filter, workers int, reg *obs.Registry, parent *obs.Span) ([]UpdateRecord, []bgpstream.Warning, error) {
 	sp := parent.Child("metrics.collect_records")
-	out, warnings, err := collectRecords(sources, filter, reg)
+	out, warnings, err := collectRecords(sources, filter, workers, reg)
 	if reg != nil {
 		reg.Counter("metrics.update_records").Add(int64(len(out)))
 		h := reg.Histogram("metrics.update_record_size")
@@ -50,9 +53,10 @@ func CollectRecordsObs(sources []bgpstream.Source, filter *bgpstream.Filter, reg
 	return out, warnings, err
 }
 
-func collectRecords(sources []bgpstream.Source, filter *bgpstream.Filter, reg *obs.Registry) ([]UpdateRecord, []bgpstream.Warning, error) {
+func collectRecords(sources []bgpstream.Source, filter *bgpstream.Filter, workers int, reg *obs.Registry) ([]UpdateRecord, []bgpstream.Warning, error) {
 	s := bgpstream.NewStream(filter, sources...)
 	s.SetMetrics(reg)
+	s.SetWorkers(workers)
 
 	// Elements of one message arrive contiguously with a strictly
 	// increasing MsgIndex, so grouping is a streaming comparison against
@@ -87,34 +91,37 @@ func collectRecords(sources []bgpstream.Source, filter *bgpstream.Filter, reg *o
 	}
 	curMsg := -1
 	for {
-		e, err := s.Next()
+		batch, err := s.NextBatch()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, nil, err
 		}
-		if e.Type != bgpstream.ElemAnnounce && e.Type != bgpstream.ElemWithdraw {
-			continue
-		}
-		if e.MsgIndex != curMsg {
-			flush()
-			curMsg = e.MsgIndex
-			out = append(out, UpdateRecord{Timestamp: e.Timestamp, Collector: e.Collector, PeerASN: e.PeerASN})
-		}
-		p := prefixset.Canonical(e.Prefix)
-		if !p.IsValid() {
-			continue
-		}
-		dup := false
-		for _, q := range scratch {
-			if q == p {
-				dup = true
-				break
+		for i := range batch {
+			e := &batch[i]
+			if e.Type != bgpstream.ElemAnnounce && e.Type != bgpstream.ElemWithdraw {
+				continue
 			}
-		}
-		if !dup {
-			scratch = append(scratch, p)
+			if e.MsgIndex != curMsg {
+				flush()
+				curMsg = e.MsgIndex
+				out = append(out, UpdateRecord{Timestamp: e.Timestamp, Collector: e.Collector, PeerASN: e.PeerASN})
+			}
+			p := prefixset.Canonical(e.Prefix)
+			if !p.IsValid() {
+				continue
+			}
+			dup := false
+			for _, q := range scratch {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				scratch = append(scratch, p)
+			}
 		}
 	}
 	flush()

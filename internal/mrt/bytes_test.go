@@ -1,0 +1,261 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// etRecord builds a BGP4MP_ET record with the given microsecond stamp.
+func etRecord(micro uint32, body []byte) Record {
+	return Record{Timestamp: 5000, Micro: micro, Type: TypeBGP4MPET, Subtype: SubMessageAS4, Body: body}
+}
+
+// TestBytesReaderZeroAlloc pins the zero-copy contract: iterating a
+// clean in-memory archive allocates nothing — not per record, not per
+// stream. The reader itself lives on the stack (value construction);
+// every Body is a sub-slice of the archive.
+func TestBytesReaderZeroAlloc(t *testing.T) {
+	data := marshalRecords(t,
+		resyncRecord(t, 1),
+		etRecord(123456, []byte{9, 8, 7}),
+		resyncRecord(t, 2),
+	)
+	var sink Record
+	allocs := testing.AllocsPerRun(200, func() {
+		r := BytesReader{data: data}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				panic(err)
+			}
+			sink = rec
+		}
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("BytesReader.Next allocates %.1f per stream, want 0", allocs)
+	}
+}
+
+func TestBytesReaderBodyAliasesData(t *testing.T) {
+	data := marshalRecords(t, resyncRecord(t, 1))
+	rec, err := NewBytesReader(data).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Body) == 0 {
+		t.Fatal("empty body")
+	}
+	// Mutating the archive must show through the record: Body is a view,
+	// not a copy.
+	data[headerLen] ^= 0xff
+	if rec.Body[0] != data[headerLen] {
+		t.Error("Body does not alias the backing array")
+	}
+	// The sub-slice is capacity-capped so appends cannot bleed into the
+	// next record's header.
+	if cap(rec.Body) != len(rec.Body) {
+		t.Errorf("Body cap = %d, want %d (capped view)", cap(rec.Body), len(rec.Body))
+	}
+}
+
+// traceEvent is one step of a decode-with-recovery run: either a
+// decoded record, or an error class, or a resync outcome with its skip
+// count. Reader and BytesReader must produce identical traces over the
+// same bytes — that is the parity contract the bgpstream degradation
+// machinery depends on.
+type traceEvent struct {
+	rec     Record
+	kind    string
+	skipped int
+}
+
+func decodeTrace(t *testing.T, next func() (Record, error), resync func(int) (int, error), budget int) []traceEvent {
+	t.Helper()
+	var tr []traceEvent
+	for steps := 0; steps < 100; steps++ {
+		rec, err := next()
+		switch {
+		case err == nil:
+			tr = append(tr, traceEvent{rec: rec, kind: "record"})
+			continue
+		case err == io.EOF:
+			return append(tr, traceEvent{kind: "eof"})
+		case errors.Is(err, ErrTruncated):
+			tr = append(tr, traceEvent{kind: "truncated"})
+		case errors.Is(err, ErrBadRecord):
+			tr = append(tr, traceEvent{kind: "bad-record"})
+		default:
+			t.Fatalf("unexpected decode error: %v", err)
+		}
+		skipped, rerr := resync(budget)
+		switch {
+		case rerr == nil:
+			tr = append(tr, traceEvent{kind: "resync", skipped: skipped})
+		case rerr == io.EOF:
+			return append(tr, traceEvent{kind: "resync-eof", skipped: skipped})
+		case errors.Is(rerr, ErrTruncated):
+			return append(tr, traceEvent{kind: "resync-budget", skipped: skipped})
+		default:
+			t.Fatalf("unexpected resync error: %v", rerr)
+		}
+	}
+	t.Fatal("decode trace did not terminate")
+	return nil
+}
+
+func sameTrace(a, b []traceEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.kind != y.kind || x.skipped != y.skipped {
+			return false
+		}
+		if x.rec.Timestamp != y.rec.Timestamp || x.rec.Micro != y.rec.Micro ||
+			x.rec.Type != y.rec.Type || x.rec.Subtype != y.rec.Subtype ||
+			!bytes.Equal(x.rec.Body, y.rec.Body) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBytesReaderParity runs both readers over the same damaged
+// streams and demands byte-identical traces: same records, same error
+// classes in the same positions, same resync skip counts. This is what
+// lets bgpstream swap readers per source without changing a single
+// warning or degradation decision.
+func TestBytesReaderParity(t *testing.T) {
+	r1 := resyncRecord(t, 1)
+	r2 := resyncRecord(t, 2)
+	clean := marshalRecords(t, r1, etRecord(77, []byte{1, 2, 3, 4, 5}), r2)
+
+	garbage := append([]byte(nil), marshalRecords(t, r1)...)
+	garbage = append(garbage, bytes.Repeat([]byte{0xff}, 20)...)
+	garbage = append(garbage, marshalRecords(t, r2)...)
+
+	truncated := marshalRecords(t, r1, r2)
+	truncated = truncated[:len(truncated)-3]
+
+	headerCut := marshalRecords(t, r1)
+	headerCut = append(headerCut, marshalRecords(t, r2)[:5]...)
+
+	oversize := append([]byte(nil), marshalRecords(t, r1, r2)...)
+	oversize[8], oversize[9] = 0xff, 0xff // absurd length on record 1
+
+	noBoundary := append(bytes.Repeat([]byte{0xff}, 12), make([]byte, 64)...)
+
+	cases := []struct {
+		name   string
+		data   []byte
+		budget int
+	}{
+		{"clean", clean, 0},
+		{"garbage mid-stream", garbage, 0},
+		{"truncated tail", truncated, 0},
+		{"header cut", headerCut, 0},
+		{"oversize length", oversize, 0},
+		{"scan budget exhausted", noBoundary, 16},
+		{"empty", nil, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rd := NewReader(bytes.NewReader(c.data))
+			want := decodeTrace(t, rd.Next, rd.Resync, c.budget)
+			br := NewBytesReader(c.data)
+			got := decodeTrace(t, br.Next, br.Resync, c.budget)
+			if !sameTrace(want, got) {
+				t.Errorf("traces diverge:\nReader:      %+v\nBytesReader: %+v", want, got)
+			}
+		})
+	}
+}
+
+func TestBytesReaderOffset(t *testing.T) {
+	data := marshalRecords(t, resyncRecord(t, 1), resyncRecord(t, 2))
+	r := NewBytesReader(data)
+	if r.Offset() != 0 {
+		t.Fatalf("initial offset = %d", r.Offset())
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	first := r.Offset()
+	if first <= headerLen {
+		t.Errorf("offset after one record = %d, want > %d", first, headerLen)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != len(data) {
+		t.Errorf("offset after all records = %d, want %d", r.Offset(), len(data))
+	}
+}
+
+func TestCountRecords(t *testing.T) {
+	r1 := resyncRecord(t, 1)
+	r2 := resyncRecord(t, 2)
+	clean := marshalRecords(t, r1, r2)
+	if n := countRecords(clean); n != 2 {
+		t.Errorf("clean: %d records, want 2", n)
+	}
+	if n := countRecords(clean[:len(clean)-1]); n != 1 {
+		t.Errorf("truncated: %d records, want 1", n)
+	}
+	bad := append([]byte(nil), clean...)
+	bad[8], bad[9] = 0xff, 0xff
+	if n := countRecords(bad); n != 0 {
+		t.Errorf("oversize first: %d records, want 0", n)
+	}
+	if n := countRecords(nil); n != 0 {
+		t.Errorf("empty: %d records, want 0", n)
+	}
+}
+
+// TestReadAllFastPath checks that the *bytes.Reader fast path decodes
+// identically to the generic io.Reader path and pre-sizes its output
+// exactly from the header scan.
+func TestReadAllFastPath(t *testing.T) {
+	data := marshalRecords(t,
+		resyncRecord(t, 1),
+		etRecord(42, []byte{6, 6, 6, 6}),
+		resyncRecord(t, 2),
+	)
+	fast, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ReadAll(struct{ io.Reader }{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("fast path %d records, slow path %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		f, s := fast[i], slow[i]
+		if f.Timestamp != s.Timestamp || f.Micro != s.Micro || f.Type != s.Type ||
+			f.Subtype != s.Subtype || !bytes.Equal(f.Body, s.Body) {
+			t.Errorf("record %d: fast %+v != slow %+v", i, f, s)
+		}
+	}
+	if cap(fast) != len(fast) {
+		t.Errorf("fast path cap = %d, want %d (exact pre-size)", cap(fast), len(fast))
+	}
+
+	// A damaged archive errors identically on both paths.
+	cut := data[:len(data)-2]
+	if _, err := ReadAll(bytes.NewReader(cut)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("fast path on truncated archive: %v, want ErrTruncated", err)
+	}
+	if _, err := ReadAll(struct{ io.Reader }{bytes.NewReader(cut)}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("slow path on truncated archive: %v, want ErrTruncated", err)
+	}
+}

@@ -278,19 +278,3 @@ func (r *Reader) Resync(maxScan int) (int, error) {
 		skipped++
 	}
 }
-
-// ReadAll drains the reader, returning every record.
-func ReadAll(rd io.Reader) ([]Record, error) {
-	r := NewReader(rd)
-	var out []Record
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
-	}
-}

@@ -195,6 +195,14 @@ type Engine struct {
 	// rollover mid-unit is fine — live memos keep the old chunk alive.
 	pathArena []uint32
 
+	// emitArena backs the Seq results RouteAt/AltRouteAt hand out.
+	// Unlike pathArena it never rewinds: callers (feed builders) retain
+	// the returned paths across units, so a full block is simply
+	// abandoned to its owners and a fresh one started. This amortizes
+	// the dominant per-(unit, VP) result allocation into one allocation
+	// per ~16Ki hops.
+	emitArena []uint32
+
 	unit   *topology.PolicyGroup
 	origin int32
 }
@@ -582,6 +590,22 @@ func (e *Engine) carve(n int) []uint32 {
 	return s
 }
 
+// emitCarve returns an empty capacity-n Seq cut from the retained emit
+// arena (see the field comment for the lifetime contract).
+func (e *Engine) emitCarve(n int) aspath.Seq {
+	if len(e.emitArena)+n > cap(e.emitArena) {
+		sz := 1 << 14
+		if n > sz {
+			sz = n
+		}
+		e.emitArena = make([]uint32, 0, sz)
+	}
+	m := len(e.emitArena)
+	s := e.emitArena[m : m : m+n]
+	e.emitArena = e.emitArena[:m+n]
+	return s
+}
+
 // pathCust reconstructs the customer-class path at x (not including x).
 func (e *Engine) pathCust(x int32) []uint32 {
 	if x == e.origin {
@@ -647,7 +671,7 @@ func (e *Engine) RouteAt(asn uint32) (VPRoute, bool) {
 		return VPRoute{}, false
 	}
 	inner := e.pathBest(x)
-	path := make(aspath.Seq, 0, len(inner)+1)
+	path := e.emitCarve(len(inner) + 1)
 	path = append(path, asn)
 	path = append(path, inner...)
 	return VPRoute{Path: path, Class: e.bestKind[x], Cost: int(e.bestCost[x])}, true
@@ -734,7 +758,7 @@ func (e *Engine) AltRouteAt(asn uint32) (VPRoute, bool) {
 	case ClassProvider:
 		emit(best.par, best.prep, e.pathBest(best.par))
 	}
-	path := make(aspath.Seq, 0, len(inner)+1)
+	path := e.emitCarve(len(inner) + 1)
 	path = append(path, asn)
 	path = append(path, inner...)
 	return VPRoute{Path: path, Class: best.kind, Cost: int(best.cost)}, true

@@ -71,9 +71,19 @@ type Options struct {
 	// full-feed inference runs within the family's own table sizes.
 	Family int
 	// Workers bounds the worker pool for the parallel pipeline stages
-	// (per-feed path interning, snapshot assembly): 0 = one worker per
-	// CPU, 1 = fully sequential. Output is identical at any value.
+	// (per-source MRT decode fan-out, per-feed path interning, snapshot
+	// assembly): 0 = one worker per CPU, 1 = fully sequential. Output is
+	// identical at any value.
 	Workers int
+	// Intern, when non-nil, is the AS-path intern table the pipeline
+	// uses instead of building a fresh one. Sharing one table across the
+	// snapshots of an era (longitudinal does this) means the second and
+	// later snapshots intern almost entirely on the allocation-free hit
+	// path. IDs are only meaningful within one table, so callers must
+	// scope a shared table to consumers that never compare IDs across
+	// unrelated snapshots — the repo-wide invariant since PR2 is that
+	// outputs depend on ID equality only.
+	Intern *aspath.Table
 
 	// Span, when non-nil, receives child spans for each pipeline stage
 	// (ingest, intern, abnormal peers, full-feed inference, admission,
@@ -201,6 +211,15 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 	}
 	stream := bgpstream.NewStream(filter, sources...)
 	stream.SetMetrics(opts.Metrics)
+	stream.SetWorkers(opts.Workers)
+	// The stream's decode workers flatten and intern every RIB path into
+	// the pipeline's table, so ingest below just resolves IDs — and any
+	// snapshot sharing this table (opts.Intern) hits the table warm.
+	table := opts.Intern
+	if table == nil {
+		table = aspath.NewTable()
+	}
+	stream.SetIntern(table)
 	degradeMin, degradeMax := opts.DegradationMinRecords, opts.DegradationMaxSkipRatio
 	if degradeMin == 0 {
 		degradeMin = bgpstream.DefaultDegradeMinRecords
@@ -210,40 +229,44 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 	}
 	stream.SetDegradation(degradeMin, degradeMax)
 	for {
-		e, err := stream.Next()
+		batch, err := stream.NextBatch()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, nil, err
 		}
-		elems++
-		k := feedKey{collector: e.Collector, asn: e.PeerASN}
-		fd := feeds[k]
-		if fd == nil {
-			fd = &Feed{
-				VP:     core.VP{Collector: e.Collector, ASN: e.PeerASN},
-				Time:   e.Timestamp,
-				Routes: map[netip.Prefix]aspath.Seq{},
+		elems += len(batch)
+		for i := range batch {
+			e := &batch[i]
+			k := feedKey{collector: e.Collector, asn: e.PeerASN}
+			fd := feeds[k]
+			if fd == nil {
+				fd = &Feed{
+					VP:     core.VP{Collector: e.Collector, ASN: e.PeerASN},
+					Time:   e.Timestamp,
+					Routes: map[netip.Prefix]aspath.Seq{},
+				}
+				feeds[k] = fd
 			}
-			feeds[k] = fd
+			pfx := prefixset.Canonical(e.Prefix)
+			if !pfx.IsValid() {
+				continue
+			}
+			if _, dup := fd.Routes[pfx]; dup {
+				fd.Duplicates++
+				continue
+			}
+			if e.PathUnusable {
+				// Multi-AS-set or confederation: the path is unusable; the
+				// prefix is treated as unseen at this feed (§2.4.4).
+				fd.ASSetDropped++
+				continue
+			}
+			// The stored Seq is table-owned: stable for the life of the
+			// table, no per-element copy.
+			fd.Routes[pfx] = table.Seq(e.InternedPath)
 		}
-		pfx := prefixset.Canonical(e.Prefix)
-		if !pfx.IsValid() {
-			continue
-		}
-		if _, dup := fd.Routes[pfx]; dup {
-			fd.Duplicates++
-			continue
-		}
-		seq, err := e.Path.Sequence()
-		if err != nil {
-			// Multi-AS-set or confederation: the path is unusable; the
-			// prefix is treated as unseen at this feed (§2.4.4).
-			fd.ASSetDropped++
-			continue
-		}
-		fd.Routes[pfx] = seq
 	}
 	list := make([]*Feed, 0, len(feeds))
 	for _, fd := range feeds {
@@ -273,7 +296,10 @@ func Clean(sources []bgpstream.Source, updateWarnings []bgpstream.Warning, opts 
 	sp.SetAttr("sources", len(sources))
 	sp.SetAttr("rib_elems", elems)
 	sp.SetAttr("feeds", len(list))
+	sp.SetAttr("decode_workers", parallel.Workers(opts.Workers))
+	sp.SetAttr("decode_bytes", int(stream.DecodedBytes()))
 	sp.End()
+	opts.Intern = table
 	return CleanFeeds(list, updateWarnings, opts)
 }
 
@@ -320,7 +346,10 @@ func CleanFeeds(list []*Feed, updateWarnings []bgpstream.Warning, opts Options) 
 			reg.Counter("sanitize.quarantined_feeds").Add(int64(rep.QuarantinedFeeds))
 		}
 	}
-	table := aspath.NewTable()
+	table := opts.Intern
+	if table == nil {
+		table = aspath.NewTable()
+	}
 
 	stage := sp.Child("intern")
 

@@ -1,30 +1,33 @@
 #!/bin/sh
 # bench.sh — run the PR's key benchmarks with -benchmem and distill
-# them into BENCH_pr6.json: one entry per benchmark (ns/op, B/op,
-# allocs/op, the GOMAXPROCS it ran under) plus a run_trend_speedup
-# block with the per-worker speedup of the parallel longitudinal sweep
-# against its sequential baseline. The RunTrend matrix runs twice: at
-# the host's native GOMAXPROCS and again pinned to 8 via `go test
-# -cpu 8` (entries carry a "-8" name suffix and "cores": 8) — on a
-# small host the second run oversubscribes the scheduler, so its
-# speedup measures scheduling overhead rather than parallelism, but it
-# is measured, not assumed. Core counts come from the Go runtime
-# (scripts/benchhost.go) rather than nproc: PR2's container-confined
-# nproc recorded "cores": 1, which made its speedup numbers
-# uninterpretable.
+# them into BENCH_pr7.json: one entry per benchmark (ns/op, B/op,
+# allocs/op, the GOMAXPROCS it ran under), a run_trend_speedup block
+# with the per-worker speedup of the parallel longitudinal sweep
+# against its sequential baseline, a decode_throughput block (MB/s and
+# elems/s per decode worker count, plus the raw reader-vs-BytesReader
+# floor), and a vs_prev block with the RunTrend workers=1 time and
+# allocation ratios against the previous PR's BENCH file. The RunTrend
+# matrix runs twice: at the host's native GOMAXPROCS and again pinned
+# to 8 via `go test -cpu 8` (entries carry a "-8" name suffix and
+# "cores": 8) — on a small host the second run oversubscribes the
+# scheduler, so its speedup measures scheduling overhead rather than
+# parallelism, but it is measured, not assumed. Core counts come from
+# the Go runtime (scripts/benchhost.go) rather than nproc: PR2's
+# container-confined nproc recorded "cores": 1, which made its speedup
+# numbers uninterpretable.
 #
 # Usage:
-#   scripts/bench.sh            run benchmarks, write BENCH_pr6.json,
+#   scripts/bench.sh            run benchmarks, write BENCH_pr7.json,
 #                               and (if a previous BENCH_*.json exists)
 #                               print per-benchmark deltas against it
-#   scripts/bench.sh compare    just diff BENCH_pr6.json against the
+#   scripts/bench.sh compare    just diff BENCH_pr7.json against the
 #                               previous BENCH_*.json
 # Run via `make bench` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr6.json
+OUT=BENCH_pr7.json
 
 # prev_bench prints the newest BENCH_*.json that is not $OUT.
 prev_bench() {
@@ -65,11 +68,30 @@ echo "== core benchmarks (sharded grouping, origin kernel)"
 go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin' \
     -benchmem ./internal/core/ | tee -a "$RAW"
 
+echo "== decode benchmarks (zero-copy reader, per-source fan-out)"
+go test -run xxx -bench 'BenchmarkBytesReader$|BenchmarkReader$' \
+    -benchmem ./internal/mrt/ | tee -a "$RAW"
+go test -run xxx -bench 'BenchmarkStreamDecode' \
+    -benchmem ./internal/bgpstream/ | tee -a "$RAW"
+
 HOST=$(go run scripts/benchhost.go)
 NUMCPU=${HOST% *}
 MAXPROCS=${HOST#* }
 
-awk -v numcpu="$NUMCPU" -v maxprocs="$MAXPROCS" '
+# Previous PR's RunTrend workers=1 baseline, for the vs_prev ratios.
+PREV=$(prev_bench)
+PREV_NS=0
+PREV_ALLOCS=0
+if [ -n "$PREV" ]; then
+    LINE=$(grep '"BenchmarkRunTrendParallel/workers=1"' "$PREV" | head -n 1 || true)
+    if [ -n "$LINE" ]; then
+        PREV_NS=$(printf '%s\n' "$LINE" | sed 's/.*"ns_op": *\([0-9]*\).*/\1/')
+        PREV_ALLOCS=$(printf '%s\n' "$LINE" | sed 's/.*"allocs_op": *\([0-9]*\).*/\1/')
+    fi
+fi
+
+awk -v numcpu="$NUMCPU" -v maxprocs="$MAXPROCS" \
+    -v prevfile="$PREV" -v prevns="$PREV_NS" -v prevallocs="$PREV_ALLOCS" '
 BEGIN { n = 0 }
 /^Benchmark/ && / ns\/op/ {
     name = $1
@@ -82,6 +104,8 @@ BEGIN { n = 0 }
         if ($(i+1) == "ns/op")     ns[name] = $i
         if ($(i+1) == "B/op")      bytes[name] = $i
         if ($(i+1) == "allocs/op") allocs[name] = $i
+        if ($(i+1) == "MB/s")      mbs[name] = $i
+        if ($(i+1) == "elems/s")   eps[name] = $i
     }
     if (!(name in core)) order[n++] = name
     core[name] = cores
@@ -93,7 +117,7 @@ function basekey(name,  suffix) {
     return "BenchmarkRunTrendParallel/workers=1" suffix
 }
 END {
-    printf "{\n  \"bench\": \"pr6 live observability: /metrics exposition, trace export, runtime sampling (flags off)\",\n"
+    printf "{\n  \"bench\": \"pr7 zero-copy MRT decode with per-source fan-out\",\n"
     printf "  \"cores\": %d,\n", numcpu
     printf "  \"gomaxprocs\": %d,\n", maxprocs
     printf "  \"results\": [\n"
@@ -122,6 +146,32 @@ END {
         for (i = 0; i < m; i++)
             printf "      %s%s\n", perw[i], (i < m-1 ? "," : "")
         printf "    ],\n    \"best\": %s\n  }", best
+    }
+    d = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name !~ /^BenchmarkStreamDecode\/workers=/) continue
+        dec[d++] = sprintf("{\"name\": \"%s\", \"cores\": %d, \"mb_s\": %s, \"elems_s\": %s, \"allocs_op\": %s}", \
+            name, core[name], mbs[name], eps[name], allocs[name])
+    }
+    if (d > 0) {
+        printf ",\n  \"decode_throughput\": {\n    \"per_worker\": [\n"
+        for (i = 0; i < d; i++)
+            printf "      %s%s\n", dec[i], (i < d-1 ? "," : "")
+        printf "    ]"
+        for (name in mbs) {
+            if (name ~ /^BenchmarkBytesReader(-[0-9]+)?$/)
+                printf ",\n    \"bytes_reader_mb_s\": %s, \"bytes_reader_allocs_op\": %s", mbs[name], allocs[name]
+            if (name ~ /^BenchmarkReader(-[0-9]+)?$/)
+                printf ",\n    \"bufio_reader_mb_s\": %s", mbs[name]
+        }
+        printf "\n  }"
+    }
+    base = "BenchmarkRunTrendParallel/workers=1"
+    if (prevns > 0 && (base in ns)) {
+        printf ",\n  \"vs_prev\": {\n    \"baseline_file\": \"%s\",\n", prevfile
+        printf "    \"run_trend_workers1\": {\"ns_speedup\": %.3f, \"allocs_ratio\": %.3f,", prevns / ns[base], allocs[base] / prevallocs
+        printf " \"prev_allocs_op\": %s, \"allocs_op\": %s}\n  }", prevallocs, allocs[base]
     }
     printf "\n}\n"
 }' "$RAW" > "$OUT"

@@ -59,6 +59,10 @@ go test -race -count=1 ./internal/collector/ ./internal/routing/
 echo "== go test -race (determinism at every worker count)"
 go test -race -count=1 -run 'Determinism' ./internal/core/ ./internal/longitudinal/
 
+echo "== go test -race (decode fan-out: merge order, batch API, golden text across workers)"
+go test -race -count=1 -run 'TestStreamDeterministicAcrossWorkers|TestNextBatchMatchesNext' ./internal/bgpstream/
+go test -race -count=1 -run 'TestExperimentDeterministicAcrossDecodeWorkers' .
+
 echo "== go test -race (fault-injection harness: absorb or contain, never silent)"
 go test -race -count=1 -run 'TestHarness' ./internal/faultgen/harness/
 
@@ -79,5 +83,9 @@ go test -fuzz FuzzParseUpdate -fuzztime 5s -run '^$' ./internal/bgp/
 
 echo "== bench smoke (-benchtime=1x: bench code must compile and run)"
 go test -run xxx -bench . -benchtime 1x -benchmem . ./internal/core/ ./internal/aspath/
+
+echo "== decode bench smoke (zero-copy reader + stream fan-out)"
+go test -run xxx -bench 'BenchmarkBytesReader$|BenchmarkReader$' -benchtime 1x -benchmem ./internal/mrt/
+go test -run xxx -bench 'BenchmarkStreamDecode' -benchtime 1x -benchmem ./internal/bgpstream/
 
 echo "verify: OK"
