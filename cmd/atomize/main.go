@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	atomize [-family 4|6] [-afek2002] [-updates glob] [-workers n] [-trace out.json] [-v] data/*.rib.mrt
+//	atomize [-family 4|6] [-afek2002] [-updates glob] [-replay] [-workers n] [-trace out.json] [-v] data/*.rib.mrt
 //
 // The collector name for each archive is derived from the file name
 // (everything before the first dot). -workers bounds the worker pool
@@ -13,6 +13,16 @@
 // the abnormal-peer detection (§A8.3) before atom computation; archives
 // that match the glob but decode zero elements are reported, since a
 // bad glob would otherwise silently disable the detection.
+//
+// -replay (requires -updates) churn-replays the update archives into
+// the snapshot through the incremental core.AtomIndex: every
+// announce/withdraw re-buckets just the touched prefix row, -workers
+// parallelizes the decode while deltas apply in the stream's
+// deterministic serve order, and the post-replay atom statistics are
+// printed next to the replay accounting. -replay-verify additionally
+// recomputes atoms from scratch on the final matrix and fails loudly
+// if the incrementally maintained partition differs — the CLI face of
+// the differential harness.
 //
 // -trace writes a JSON run report (stage span tree + stream/sanitize
 // counters); -v prints the same report as a text tree on stderr;
@@ -33,6 +43,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/replay"
 	"repro/internal/sanitize"
 	"repro/internal/textplot"
 )
@@ -45,6 +56,8 @@ func main() {
 		afek      = flag.Bool("afek2002", false, "use Afek et al.'s 2002 methodology (all prefixes, no filters)")
 		updates   = flag.String("updates", "", "glob of update archives for abnormal-peer detection")
 		formation = flag.Bool("formation", false, "also print the formation-distance distribution")
+		replayOn  = flag.Bool("replay", false, "churn-replay the -updates archives through the incremental atom index")
+		replayVfy = flag.Bool("replay-verify", false, "after -replay, recompute atoms from scratch and fail on any difference")
 	)
 	workers := cli.NewWorkers()
 	o := cli.NewObs(tool)
@@ -60,9 +73,13 @@ func main() {
 	lsp.SetAttr("rib_archives", len(sources))
 	lsp.End()
 
+	if *replayOn && *updates == "" {
+		cli.Fatal(tool, fmt.Errorf("-replay requires -updates (the archives to replay)"))
+	}
 	var warnings []bgpstream.Warning
 	var flaps map[uint32]int
 	var quarantined []string
+	var updSources []bgpstream.Source
 	if *updates != "" {
 		usp := o.Root.Child("updates")
 		paths, err := filepath.Glob(*updates)
@@ -73,7 +90,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: warning: -updates glob %q matched no files; abnormal-peer detection disabled\n", tool, *updates)
 			o.Registry.Counter("atomize.empty_update_archives").Inc()
 		}
-		us := bgpstream.NewStream(nil, cli.LoadSources(tool, paths)...)
+		// Byte-backed sources are reusable across streams: the same
+		// slice feeds both the abnormal-peer scan and -replay.
+		updSources = cli.LoadSources(tool, paths)
+		us := bgpstream.NewStream(nil, updSources...)
 		us.SetMetrics(o.Registry)
 		us.SetWorkers(*workers)
 		if _, err := us.All(); err != nil {
@@ -169,6 +189,79 @@ func main() {
 		}
 		ftbl.Render(os.Stdout)
 	}
+
+	if *replayOn {
+		ix := core.NewAtomIndex(snap)
+		rst, err := replay.Run(ix, updSources, replay.Options{
+			Workers:  *workers,
+			Metrics:  o.Registry,
+			Span:     o.Root,
+			Progress: o.Progress,
+		})
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		for _, name := range rst.Quarantined {
+			fmt.Fprintf(os.Stderr, "%s: warning: replay source %q quarantined (degradation budget exceeded)\n", tool, name)
+		}
+		rtbl := &textplot.Table{Title: "\nChurn replay", Headers: []string{"Metric", "Value"}}
+		rtbl.AddRow("Elements", fmt.Sprint(rst.Elems))
+		rtbl.AddRow("Deltas applied", fmt.Sprint(rst.Applied))
+		rtbl.AddRow("Duplicate no-ops", fmt.Sprint(rst.NoOps))
+		rtbl.AddRow("Atoms created", fmt.Sprint(rst.Created))
+		rtbl.AddRow("Atoms retired", fmt.Sprint(rst.Retired))
+		rtbl.AddRow("Skipped (prefix not admitted)", fmt.Sprint(rst.SkippedPrefix))
+		rtbl.AddRow("Skipped (peer not a VP)", fmt.Sprint(rst.SkippedVP))
+		rtbl.AddRow("Skipped (unusable path)", fmt.Sprint(rst.SkippedUnusable))
+		rtbl.AddRow("Skipped (non-route element)", fmt.Sprint(rst.SkippedType))
+		rtbl.AddRow("Stream warnings", fmt.Sprint(rst.Warnings))
+		rtbl.AddRow("Atoms before replay", fmt.Sprint(st.Atoms))
+		rtbl.AddRow("Atoms after replay", fmt.Sprint(ix.AtomCount()))
+		rtbl.Render(os.Stdout)
+
+		if *replayVfy {
+			vsp := o.Root.Child("replay_verify")
+			inc := ix.Materialize(*workers)
+			bat := core.ComputeAtomsWorkers(snap, *workers)
+			vsp.End()
+			if !sameAtoms(inc, bat) {
+				cli.Fatal(tool, fmt.Errorf("replay verify: incremental partition differs from batch recompute on the final snapshot"))
+			}
+			fmt.Println("\nReplay verify: incremental == batch on the final snapshot")
+		}
+	}
+}
+
+// sameAtoms reports whether two atom sets over the same snapshot (and
+// hence the same intern table, so raw IDs are comparable) describe the
+// same partition.
+func sameAtoms(a, b *core.AtomSet) bool {
+	if len(a.Atoms) != len(b.Atoms) || len(a.ByPrefix) != len(b.ByPrefix) {
+		return false
+	}
+	for i := range a.ByPrefix {
+		if a.ByPrefix[i] != b.ByPrefix[i] {
+			return false
+		}
+	}
+	for i := range a.Atoms {
+		x, y := &a.Atoms[i], &b.Atoms[i]
+		if x.ID != y.ID || x.Origin != y.Origin || x.MOASConflict != y.MOASConflict ||
+			len(x.Prefixes) != len(y.Prefixes) || len(x.Vector) != len(y.Vector) {
+			return false
+		}
+		for j := range x.Prefixes {
+			if x.Prefixes[j] != y.Prefixes[j] {
+				return false
+			}
+		}
+		for j := range x.Vector {
+			if x.Vector[j] != y.Vector[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func max(a, b int) int {

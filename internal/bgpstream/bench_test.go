@@ -27,6 +27,11 @@ func BenchmarkStreamDecode(b *testing.B) {
 	for i := range sources {
 		sources[i] = BytesSource(fmt.Sprintf("c%d", i), archive, bgp.Options{})
 	}
+	// Measure the real parallel path at every worker count, even on a
+	// single-core host where the effective-CPU gate would fall back to
+	// sequential decode.
+	ForceParallelDecode(true)
+	defer ForceParallelDecode(false)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(len(archive) * nSources))

@@ -34,7 +34,10 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/aspath"
 	"repro/internal/bgp"
@@ -322,14 +325,45 @@ type Stream struct {
 }
 
 // NewStream builds a stream over the sources, applying the filter (nil
-// passes all).
+// passes all). The attribute cache is pooled and attached lazily on the
+// first Next/NextBatch, so constructing a stream allocates no decode
+// state.
 func NewStream(filter *Filter, sources ...Source) *Stream {
 	return &Stream{
 		sources: sources, filter: filter,
 		degradeMin: DefaultDegradeMinRecords, degradeMax: DefaultDegradeMaxSkipRatio,
-		attrCache: bgp.NewAttrCache(),
 	}
 }
+
+// Buffer pools, shared by every Stream in the process. A longitudinal
+// run builds thousands of short-lived streams (one per archive set per
+// era); recycling the two big per-stream buffers — the parallel-mode
+// element buffers, whose growth dominated parallel decode's allocation
+// bill, and the attribute caches — keeps the steady-state cost of a
+// new stream near zero. AttrCache reuse is safe across streams: its
+// maps memoize by content and are insert-only, so entries from one
+// archive are either re-hit (same wire bytes → same attribute) or
+// simply ignored by the next.
+var (
+	elemsPool = sync.Pool{New: func() any {
+		buf := make([]Elem, 0, 4096)
+		return &buf
+	}}
+	attrCachePool = sync.Pool{New: func() any { return bgp.NewAttrCache() }}
+)
+
+// forceParallelDecode bypasses the effective-CPU gate on parallel
+// materialization (see ensureRunning). Process-wide because it is a
+// test seam, not configuration: determinism tests and decode benchmarks
+// must exercise the real parallel path even on single-core hosts, where
+// the gate would otherwise (correctly) fall back to sequential decode.
+var forceParallelDecode atomic.Bool
+
+// ForceParallelDecode makes SetWorkers(n>1) take the parallel
+// materialization path even when the host has a single effective CPU.
+// For tests and benchmarks pinning parallel-path behavior; production
+// callers should let the stream decide.
+func ForceParallelDecode(on bool) { forceParallelDecode.Store(on) }
 
 // Degradation-budget defaults: a source is quarantined when, having
 // produced at least DefaultDegradeMinRecords records (decoded plus
@@ -531,7 +565,22 @@ func (s *Stream) ensureRunning() {
 	}
 	s.running = true
 	s.ensureDecoders()
-	par := s.workers > 1 && len(s.decs) > 1
+	// Parallel materialization only pays off when the hardware can
+	// actually run decoders concurrently: it trades a full in-memory
+	// copy of every source's elements for decode overlap, and with one
+	// effective CPU (GOMAXPROCS clamped down, or a single-core host with
+	// GOMAXPROCS inflated past it) there is no overlap to buy — the
+	// sequential path is faster and far lighter on memory. The served
+	// element sequence is byte-identical either way, so this is purely a
+	// throughput decision. ForceParallelDecode lets tests and benches
+	// pin the parallel path's behavior on any hardware, and race builds
+	// always take it — -race runs exist to catch synchronization bugs.
+	par := s.workers > 1 && len(s.decs) > 1 &&
+		(raceEnabled || forceParallelDecode.Load() ||
+			min(runtime.GOMAXPROCS(0), runtime.NumCPU()) > 1)
+	if !par && s.attrCache == nil {
+		s.attrCache = attrCachePool.Get().(*bgp.AttrCache)
+	}
 	for _, d := range s.decs {
 		d.metrics = s.metrics
 		d.recordsC = s.recordsC
@@ -542,8 +591,23 @@ func (s *Stream) ensureRunning() {
 		}
 		if par {
 			// The attribute cache is not safe for concurrent use:
-			// parallel decoders each get their own.
-			d.attrCache = bgp.NewAttrCache()
+			// parallel decoders each get their own (pooled). Their
+			// element buffers are pooled too — each will hold the whole
+			// source's decoded elements.
+			d.attrCache = attrCachePool.Get().(*bgp.AttrCache)
+			buf := elemsPool.Get().(*[]Elem)
+			// Right-size up front: the pool mixes buffers from sources of
+			// very different sizes, and growing a small recycled buffer to
+			// a big source's element count would reallocate the whole
+			// doubling chain on every reuse. Measured element densities
+			// sit around one element per 25-60 archive bytes (RIB entries
+			// are denser than update messages), so bytes/32 lands within
+			// ~1.3x of the real count either way — at worst one final
+			// append growth instead of a chain.
+			if est := len(d.src.Data) / 32; cap(*buf) < est {
+				*buf = make([]Elem, 0, est)
+			}
+			d.elems = (*buf)[:0]
 		} else {
 			d.attrCache = s.attrCache
 		}
@@ -565,6 +629,12 @@ func (s *Stream) ensureRunning() {
 func (s *Stream) fill() error {
 	for {
 		if s.cur >= len(s.decs) {
+			// Everything is served; hand the shared attribute cache back
+			// to the pool (parallel mode never attached one).
+			if s.attrCache != nil {
+				attrCachePool.Put(s.attrCache)
+				s.attrCache = nil
+			}
 			return io.EOF
 		}
 		d := s.decs[s.cur]
@@ -590,7 +660,31 @@ func (s *Stream) fill() error {
 		}
 		s.judge(d)
 		s.msgBase += d.msgCount
+		s.release(d)
 		s.cur++
+	}
+}
+
+// release recycles a fully-served decoder's big buffers. Safe by the
+// NextBatch contract: the merge only advances past d once every one of
+// its elements has been served and the following Next/NextBatch call —
+// the one driving this fill — has already invalidated the previous
+// batch. The element buffer is zeroed before pooling so recycled
+// capacity does not pin Path/Communities backing arrays, and the
+// attribute cache goes back only in parallel mode (sequential decoders
+// borrow the stream's shared cache, released at EOF).
+func (s *Stream) release(d *sourceDecoder) {
+	if d.attrCache != nil && d.attrCache != s.attrCache {
+		attrCachePool.Put(d.attrCache)
+	}
+	d.attrCache = nil
+	if cap(d.elems) > 0 {
+		buf := d.elems[:cap(d.elems)]
+		clear(buf)
+		buf = buf[:0]
+		elemsPool.Put(&buf)
+		d.elems = nil
+		d.head = 0
 	}
 }
 

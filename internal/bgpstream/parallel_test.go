@@ -42,6 +42,13 @@ type streamResult struct {
 
 func runStream(t *testing.T, workers int, useBatch bool, intern *aspath.Table) streamResult {
 	t.Helper()
+	if workers > 1 {
+		// The effective-CPU gate would route workers>1 to the sequential
+		// path on a single-core host; these tests pin the parallel path
+		// itself, so bypass the gate.
+		ForceParallelDecode(true)
+		defer ForceParallelDecode(false)
+	}
 	s := NewStream(nil, mixedSources(t)...)
 	s.SetWorkers(workers)
 	if intern != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package bgpstream
+
+// raceEnabled mirrors the -race build flag: race runs always exercise
+// the parallel decode path (see ensureRunning's effective-CPU gate).
+const raceEnabled = true

@@ -159,6 +159,43 @@ func BenchmarkComputeAtomsTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyUpdate measures the O(row) delta kernel in steady
+// state: an AtomIndex over the BenchmarkComputeAtoms snapshot, churned
+// with a deterministic mix of announces (recurring paths), withdrawals,
+// and duplicates. After warm-up the free lists and bucket table have
+// reached their high-water marks, so the loop is allocation-free —
+// compare ns/op here against BenchmarkComputeAtoms for the full-
+// recompute-vs-delta ratio the replay path banks on.
+func BenchmarkApplyUpdate(b *testing.B) {
+	s := benchSnapshot(2000, 50)
+	ix := NewAtomIndex(s)
+	pool := make([]aspath.ID, 0, 16)
+	for i := 0; i < 16; i++ {
+		pool = append(pool, s.Paths.Intern(aspath.Seq{uint32(9000 + i), uint32(200 + i%5), uint32(64512 + i)}))
+	}
+	rnd := churnSeq(99)
+	apply := func() {
+		p := int(rnd() % uint64(len(s.Prefixes)))
+		v := int(rnd() % uint64(len(s.VPs)))
+		id := aspath.Empty // withdraw 1 time in 8
+		if rnd()%8 != 0 {
+			id = pool[rnd()%uint64(len(pool))]
+		}
+		ix.ApplyUpdate(p, v, id)
+	}
+	for i := 0; i < 20000; i++ {
+		apply() // warm the free lists and bucket table
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apply()
+	}
+	if ix.AtomCount() == 0 {
+		b.Fatal("index churned to zero atoms")
+	}
+}
+
 // BenchmarkComputeAtomsSharded forces the sharded grouping at fixed
 // shard counts, bypassing shardParts' hardware gate — the number that
 // matters on multi-core hosts, where the dispatcher actually picks this

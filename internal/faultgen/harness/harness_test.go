@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bgpstream"
 	"repro/internal/faultgen"
 )
 
@@ -51,7 +52,11 @@ func TestHarnessInvariantAllClasses(t *testing.T) {
 	}
 
 	// Same seed at 8 workers: the parallel pipeline must not change a
-	// single byte of the verdict.
+	// single byte of the verdict. Force the parallel decode path so the
+	// contract is exercised even on a single-core host, where the
+	// stream's effective-CPU gate would fall back to sequential decode.
+	bgpstream.ForceParallelDecode(true)
+	defer bgpstream.ForceParallelDecode(false)
 	cfg8 := cfg
 	cfg8.Workers = 8
 	res8, err := Run(cfg8)

@@ -14,6 +14,7 @@ import (
 var deterministicPkgs = []string{
 	"core", "metrics", "longitudinal", "sanitize",
 	"routing", "topology", "collector", "aspath",
+	"replay",
 }
 
 // clockScopedPkgs names the packages where the wall clock may be read

@@ -37,6 +37,7 @@ var requiredHotpaths = []struct {
 	{"mrt", []string{"(*BytesReader).Next"}},
 	{"bgpstream", []string{"(*Stream).fill", "(*Stream).NextBatch"}},
 	{"aspath", []string{"(*Table).Intern", "(*Table).Lookup"}},
+	{"core", []string{"(*AtomIndex).ApplyUpdate", "(*AtomIndex).rowHash", "(*AtomIndex).rebucket"}},
 }
 
 func runHotpath(pass *Pass) {

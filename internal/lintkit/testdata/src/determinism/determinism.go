@@ -1,5 +1,5 @@
 // Package detfix exercises the determinism analyzer. The test loads it
-// under the synthetic import path "repro/internal/core" so the
+// under the synthetic import path "repro/internal/metrics" so the
 // deterministic-package scope applies; loaded under an allowlisted path
 // (e.g. "repro/internal/obs") the same sources must be clean.
 package detfix

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/replay"
 	"repro/internal/routing"
 	"repro/internal/sanitize"
 	"repro/internal/topology"
@@ -256,13 +257,12 @@ func (r *EraRun) SnapshotAt(t float64) (*core.AtomSet, *sanitize.Report, error) 
 	return core.ComputeAtomsSpanWorkers(snap, sp, r.Cfg.Workers), rep, nil
 }
 
-// Updates synthesizes the update window starting at day offset t and
-// returns the per-message records.
-func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstream.Warning, error) {
-	sp := r.Cfg.Trace.Child("updates")
-	sp.SetAttr("from_t", fromT)
-	sp.SetAttr("to_t", toT)
-	defer sp.End()
+// UpdateSources synthesizes the update window's archives and returns
+// them as byte-backed sources in sorted name order — the deterministic
+// element stream behind Updates, exported so churn replay (replay.Run,
+// RunChurnReplay, the churn benchmark) can drive an AtomIndex with the
+// very same messages the correlation analysis consumes.
+func (r *EraRun) UpdateSources(fromT, toT float64) []bgpstream.Source {
 	cfg := collector.UpdateConfig{
 		Model:           r.Model,
 		FromT:           fromT,
@@ -271,7 +271,6 @@ func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstrea
 		FullMessageProb: r.Cfg.FullMessageProb.At(r.Era),
 		FlapRate:        r.Cfg.FlapRate.At(r.Era),
 	}
-	bsp := sp.Child("collector.build_updates")
 	archives := collector.BuildUpdates(r.Graph, r.Infra, cfg)
 	names := make([]string, 0, len(archives))
 	for name := range archives {
@@ -279,20 +278,60 @@ func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstrea
 	}
 	sort.Strings(names)
 	sources := make([]bgpstream.Source, 0, len(names))
-	totalBytes := 0
 	for _, name := range names {
-		data := archives[name]
-		sources = append(sources, bgpstream.BytesSource(name, data, bgp.Options{}))
-		totalBytes += len(data)
+		sources = append(sources, bgpstream.BytesSource(name, archives[name], bgp.Options{}))
+	}
+	return sources
+}
+
+// updateFilter is the family filter every update consumer shares.
+func (r *EraRun) updateFilter() *bgpstream.Filter {
+	return &bgpstream.Filter{
+		V4Only: r.Cfg.Family == 4,
+		V6Only: r.Cfg.Family == 6,
+	}
+}
+
+// Updates synthesizes the update window starting at day offset t and
+// returns the per-message records.
+func (r *EraRun) Updates(fromT, toT float64) ([]metrics.UpdateRecord, []bgpstream.Warning, error) {
+	sp := r.Cfg.Trace.Child("updates")
+	sp.SetAttr("from_t", fromT)
+	sp.SetAttr("to_t", toT)
+	defer sp.End()
+	bsp := sp.Child("collector.build_updates")
+	sources := r.UpdateSources(fromT, toT)
+	totalBytes := 0
+	for _, src := range sources {
+		totalBytes += len(src.Data)
 	}
 	bsp.SetAttr("archives", len(sources))
 	bsp.SetAttr("bytes", totalBytes)
 	bsp.End()
-	filter := &bgpstream.Filter{
-		V4Only: r.Cfg.Family == 4,
-		V6Only: r.Cfg.Family == 6,
+	return metrics.CollectRecordsObs(sources, r.updateFilter(), r.Cfg.Workers, r.Cfg.Metrics, sp)
+}
+
+// RunChurnReplay builds the era's base snapshot, wraps it in an
+// AtomIndex, and replays the update window through it delta by delta —
+// the incremental counterpart of recomputing the snapshot at the
+// window's end. It returns the maintained index (Materialize reads the
+// final partition) alongside the replay accounting. The replayed
+// stream is the deterministic serve order bgpstream guarantees, so the
+// result is byte-identical at any worker count.
+func (r *EraRun) RunChurnReplay(fromT, toT float64) (*core.AtomIndex, replay.Stats, error) {
+	atoms, _, err := r.SnapshotAt(fromT)
+	if err != nil {
+		return nil, replay.Stats{}, err
 	}
-	return metrics.CollectRecordsObs(sources, filter, r.Cfg.Workers, r.Cfg.Metrics, sp)
+	ix := core.NewAtomIndex(atoms.Snap)
+	st, err := replay.Run(ix, r.UpdateSources(fromT, toT), replay.Options{
+		Workers:  r.Cfg.Workers,
+		Filter:   r.updateFilter(),
+		Metrics:  r.Cfg.Metrics,
+		Span:     r.Cfg.Trace,
+		Progress: r.Cfg.Progress,
+	})
+	return ix, st, err
 }
 
 // updateWarnings lazily computes the standard 4-hour update window's

@@ -2,9 +2,11 @@ package longitudinal
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/topology"
@@ -60,6 +62,30 @@ func TestRunEra2004(t *testing.T) {
 	// single-atom ASes in 2004.
 	if res.Formation.TotalAtoms == 0 || res.Formation.AtomsAtDistance[1] == 0 {
 		t.Errorf("formation: %+v", res.Formation)
+	}
+}
+
+// TestRunChurnReplayDifferential pins the era-level delta mode: replay
+// the standard update window into the base snapshot's AtomIndex and
+// check the incrementally maintained partition equals a batch
+// recomputation of the final matrix, byte for byte. (Raw intern IDs
+// are comparable here because both sides read the same table.)
+func TestRunChurnReplayDifferential(t *testing.T) {
+	r := NewEraRun(smallConfig(5), topology.EraOf(2024, 1))
+	ix, st, err := r.RunChurnReplay(OffsetBase, OffsetBase+UpdateHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elems == 0 || st.Applied == 0 {
+		t.Fatalf("degenerate replay: %+v", st)
+	}
+	inc := ix.Materialize(1)
+	bat := core.ComputeAtomsWorkers(ix.Snapshot(), 1)
+	if !reflect.DeepEqual(inc, bat) {
+		t.Fatal("churn replay materialized a partition batch recompute disagrees with")
+	}
+	if ds := ix.Stats(); ds.Applied != st.Applied || ds.NoOps != st.NoOps {
+		t.Fatalf("index stats %+v disagree with replay stats %+v", ds, st)
 	}
 }
 

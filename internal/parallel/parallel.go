@@ -29,6 +29,36 @@ func Workers(n int) int {
 	return runtime.NumCPU()
 }
 
+// forceParallel, when set, bypasses the effective-CPU clamp below so a
+// test or bench can exercise the true multi-goroutine pool on a host
+// (or under a -cpu override) where the clamp would serialize it.
+var forceParallel atomic.Bool
+
+// ForceParallel toggles the effective-CPU clamp bypass. Tests and
+// benches that pin the pool's concurrent machinery call
+// ForceParallel(true) (and defer ForceParallel(false)); production
+// callers never touch it.
+func ForceParallel(on bool) { forceParallel.Store(on) }
+
+// effectiveWorkers clamps a resolved pool size to the hardware
+// parallelism actually available: spawning more CPU-bound goroutines
+// than min(GOMAXPROCS, NumCPU) buys no concurrency and costs
+// scheduling, cache churn, and deeper live heaps (every in-flight item
+// holds its working set). Results are unaffected — every pool here
+// lands item i's output at index i — so the clamp is invisible except
+// in time. Race builds skip the clamp: -race runs exist to catch
+// synchronization bugs, so they always exercise the real pool, as does
+// anything that called ForceParallel(true).
+func effectiveWorkers(w int) int {
+	if raceEnabled || forceParallel.Load() {
+		return w
+	}
+	if hw := min(runtime.GOMAXPROCS(0), runtime.NumCPU()); w > hw {
+		return hw
+	}
+	return w
+}
+
 // ForEach runs fn(i) for every i in [0, n) using at most workers
 // goroutines (workers <= 0 defaults to runtime.NumCPU; the effective
 // count never exceeds n). With one worker the loop runs inline on the
@@ -45,6 +75,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	workers = effectiveWorkers(workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

@@ -3,10 +3,20 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync/atomic"
 	"testing"
 )
+
+// TestMain forces the real multi-goroutine pool for the whole package:
+// these tests pin the pool machinery itself (claiming, fan-in order,
+// cancellation), which the effective-CPU clamp would otherwise
+// serialize on a single-core host.
+func TestMain(m *testing.M) {
+	ForceParallel(true)
+	os.Exit(m.Run())
+}
 
 func TestWorkers(t *testing.T) {
 	if got := Workers(3); got != 3 {

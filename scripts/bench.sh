@@ -1,11 +1,14 @@
 #!/bin/sh
 # bench.sh — run the PR's key benchmarks with -benchmem and distill
-# them into BENCH_pr7.json: one entry per benchmark (ns/op, B/op,
+# them into BENCH_pr8.json: one entry per benchmark (ns/op, B/op,
 # allocs/op, the GOMAXPROCS it ran under), a run_trend_speedup block
 # with the per-worker speedup of the parallel longitudinal sweep
 # against its sequential baseline, a decode_throughput block (MB/s and
 # elems/s per decode worker count, plus the raw reader-vs-BytesReader
-# floor), and a vs_prev block with the RunTrend workers=1 time and
+# floor), a churn_replay block (sustained updates/s through the
+# incremental AtomIndex, the nearest-rank p99 of one ApplyUpdate
+# re-bucket, and that p99's speedup against full batch recomputation —
+# this run's and the previous PR's), and a vs_prev block with the RunTrend workers=1 time and
 # allocation ratios against the previous PR's BENCH file. The RunTrend
 # matrix runs twice: at the host's native GOMAXPROCS and again pinned
 # to 8 via `go test -cpu 8` (entries carry a "-8" name suffix and
@@ -17,17 +20,17 @@
 # numbers uninterpretable.
 #
 # Usage:
-#   scripts/bench.sh            run benchmarks, write BENCH_pr7.json,
+#   scripts/bench.sh            run benchmarks, write BENCH_pr8.json,
 #                               and (if a previous BENCH_*.json exists)
 #                               print per-benchmark deltas against it
-#   scripts/bench.sh compare    just diff BENCH_pr7.json against the
+#   scripts/bench.sh compare    just diff BENCH_pr8.json against the
 #                               previous BENCH_*.json
 # Run via `make bench` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr7.json
+OUT=BENCH_pr8.json
 
 # prev_bench prints the newest BENCH_*.json that is not $OUT.
 prev_bench() {
@@ -64,8 +67,12 @@ echo "== RunTrend matrix at GOMAXPROCS=8 (-cpu 8)"
 go test -run xxx -bench 'BenchmarkRunTrendParallel' -cpu 8 \
     -benchmem -benchtime 2x . | tee -a "$RAW"
 
-echo "== core benchmarks (sharded grouping, origin kernel)"
-go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin' \
+echo "== churn replay benchmark (incremental delta kernel, p99 re-bucket latency)"
+go test -run xxx -bench 'BenchmarkChurnReplay$' \
+    -benchmem -benchtime 2s . | tee -a "$RAW"
+
+echo "== core benchmarks (sharded grouping, origin kernel, delta kernel)"
+go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin|BenchmarkApplyUpdate$' \
     -benchmem ./internal/core/ | tee -a "$RAW"
 
 echo "== decode benchmarks (zero-copy reader, per-source fan-out)"
@@ -82,16 +89,24 @@ MAXPROCS=${HOST#* }
 PREV=$(prev_bench)
 PREV_NS=0
 PREV_ALLOCS=0
+PREV_AC_NS=0
 if [ -n "$PREV" ]; then
     LINE=$(grep '"BenchmarkRunTrendParallel/workers=1"' "$PREV" | head -n 1 || true)
     if [ -n "$LINE" ]; then
         PREV_NS=$(printf '%s\n' "$LINE" | sed 's/.*"ns_op": *\([0-9]*\).*/\1/')
         PREV_ALLOCS=$(printf '%s\n' "$LINE" | sed 's/.*"allocs_op": *\([0-9]*\).*/\1/')
     fi
+    # Previous PR's full-recompute time: the floor the delta kernel's
+    # p99 is measured against across PRs.
+    LINE=$(grep '"BenchmarkAtomComputation"' "$PREV" | head -n 1 || true)
+    if [ -n "$LINE" ]; then
+        PREV_AC_NS=$(printf '%s\n' "$LINE" | sed 's/.*"ns_op": *\([0-9]*\).*/\1/')
+    fi
 fi
 
 awk -v numcpu="$NUMCPU" -v maxprocs="$MAXPROCS" \
-    -v prevfile="$PREV" -v prevns="$PREV_NS" -v prevallocs="$PREV_ALLOCS" '
+    -v prevfile="$PREV" -v prevns="$PREV_NS" -v prevallocs="$PREV_ALLOCS" \
+    -v prevac="$PREV_AC_NS" '
 BEGIN { n = 0 }
 /^Benchmark/ && / ns\/op/ {
     name = $1
@@ -106,6 +121,8 @@ BEGIN { n = 0 }
         if ($(i+1) == "allocs/op") allocs[name] = $i
         if ($(i+1) == "MB/s")      mbs[name] = $i
         if ($(i+1) == "elems/s")   eps[name] = $i
+        if ($(i+1) == "updates/s") ups[name] = $i
+        if ($(i+1) == "p99_rebucket_ns") p99[name] = $i
     }
     if (!(name in core)) order[n++] = name
     core[name] = cores
@@ -117,7 +134,7 @@ function basekey(name,  suffix) {
     return "BenchmarkRunTrendParallel/workers=1" suffix
 }
 END {
-    printf "{\n  \"bench\": \"pr7 zero-copy MRT decode with per-source fan-out\",\n"
+    printf "{\n  \"bench\": \"pr8 incremental atom maintenance: O(row) delta re-bucketing\",\n"
     printf "  \"cores\": %d,\n", numcpu
     printf "  \"gomaxprocs\": %d,\n", maxprocs
     printf "  \"results\": [\n"
@@ -165,6 +182,23 @@ END {
             if (name ~ /^BenchmarkReader(-[0-9]+)?$/)
                 printf ",\n    \"bufio_reader_mb_s\": %s", mbs[name]
         }
+        printf "\n  }"
+    }
+    cr = ""; ac = ""
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name ~ /^BenchmarkChurnReplay(-[0-9]+)?$/) cr = name
+        if (ac == "" && name ~ /^BenchmarkAtomComputation(-[0-9]+)?$/) ac = name
+    }
+    if (cr != "") {
+        printf ",\n  \"churn_replay\": {\n"
+        printf "    \"updates_s\": %s,\n", ups[cr]
+        printf "    \"p99_rebucket_ns\": %s,\n", p99[cr]
+        printf "    \"allocs_op\": %s", allocs[cr]
+        if (ac != "" && p99[cr] > 0)
+            printf ",\n    \"full_recompute_ns\": %s,\n    \"p99_speedup_vs_full\": %.1f", ns[ac], ns[ac] / p99[cr]
+        if (prevac > 0 && p99[cr] > 0)
+            printf ",\n    \"prev_full_recompute_ns\": %s,\n    \"p99_speedup_vs_prev_full\": %.1f", prevac, prevac / p99[cr]
         printf "\n  }"
     }
     base = "BenchmarkRunTrendParallel/workers=1"

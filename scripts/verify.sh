@@ -3,7 +3,9 @@
 # tests, a race-detector smoke of the concurrency-sensitive packages
 # (the obs instruments are lock-free atomics; bgpstream caches counters;
 # collector and routing fan work out to the pool), the fault-injection
-# harness under -race, a live-observability smoke (start atomrepro with
+# harness under -race, the incremental atom-maintenance differential
+# (replay vs batch recompute, incl. faultgen-damaged churn) under -race
+# plus a churn-bench smoke, a live-observability smoke (start atomrepro with
 # -listen, scrape /metrics and /healthz mid-run, lint the exposition),
 # coverage floors on the packages the fault model hardens plus the
 # observability layer, and short fuzz smokes of the wire codecs. Run via
@@ -66,6 +68,10 @@ go test -race -count=1 -run 'TestExperimentDeterministicAcrossDecodeWorkers' .
 echo "== go test -race (fault-injection harness: absorb or contain, never silent)"
 go test -race -count=1 -run 'TestHarness' ./internal/faultgen/harness/
 
+echo "== go test -race (incremental atom maintenance: delta differential, incl. faultgen-damaged churn)"
+go test -race -count=1 ./internal/replay/
+go test -race -count=1 -run 'TestRunChurnReplayDifferential' ./internal/longitudinal/
+
 echo "== live observability smoke (atomrepro -listen: scrape /metrics, /healthz, /runreport; promlint)"
 go run scripts/obssmoke.go
 
@@ -87,5 +93,9 @@ go test -run xxx -bench . -benchtime 1x -benchmem . ./internal/core/ ./internal/
 echo "== decode bench smoke (zero-copy reader + stream fan-out)"
 go test -run xxx -bench 'BenchmarkBytesReader$|BenchmarkReader$' -benchtime 1x -benchmem ./internal/mrt/
 go test -run xxx -bench 'BenchmarkStreamDecode' -benchtime 1x -benchmem ./internal/bgpstream/
+
+echo "== churn bench smoke (delta kernel: p99 + updates/s metrics must report)"
+go test -run xxx -bench 'BenchmarkChurnReplay$' -benchtime 100x -benchmem .
+go test -run xxx -bench 'BenchmarkApplyUpdate$' -benchtime 100x -benchmem ./internal/core/
 
 echo "verify: OK"
