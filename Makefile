@@ -8,7 +8,8 @@ build:
 test:
 	$(GO) test ./...
 
-# Static analysis: the stdlib-only atomlint suite (cmd/atomlint).
+# Static analysis: the stdlib-only atomlint suite (cmd/atomlint) —
+# determinism, hotpath, wiresafety, locks, aliasing, lifecycle.
 lint:
 	$(GO) run ./cmd/atomlint ./...
 

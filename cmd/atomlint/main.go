@@ -1,15 +1,21 @@
 // Command atomlint runs the project's static-analysis suite
 // (internal/lintkit) over the module: determinism, hotpath, wiresafety,
-// and locks. It loads every package with the standard library's
-// go/parser + go/types only — no external analysis frameworks.
+// locks, aliasing, and lifecycle. It loads every package with the
+// standard library's go/parser + go/types only — no external analysis
+// frameworks.
 //
 // Usage:
 //
-//	atomlint [-C dir] [-only analyzer[,analyzer]] [packages]
+//	atomlint [-C dir] [-only analyzer[,analyzer]] [-workers n] [-json] [packages]
 //
 // Packages are import-path patterns relative to the module
 // ("./...", "./internal/bgp", "repro/internal/mrt/..."); none means the
 // whole module. Exit status: 0 clean, 1 findings, 2 load error.
+//
+// The analyzer×package grid runs on a bounded worker pool (-workers,
+// default one per CPU); findings are byte-identical at any worker
+// count. -json emits the findings as a JSON array for CI artifacts.
+// Under -v the per-analyzer wall time is printed to stderr.
 //
 // The shared observability flags apply (-trace, -v, -listen, -sample,
 // -progress, -trace-out): a lint of a large module can be profiled and
@@ -32,6 +38,8 @@ func main() {
 	dir := flag.String("C", ".", "module root directory")
 	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	workers := flag.Int("workers", 0, "concurrent analyzer×package tasks (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for CI artifacts)")
 	o := cli.NewObs(tool)
 	flag.Parse()
 
@@ -61,11 +69,17 @@ func main() {
 		}
 	}
 
+	opts := lintkit.Options{Workers: *workers, JSON: *jsonOut}
+	if o.Verbose {
+		opts.Timings = os.Stderr
+	}
+
 	// os.Exit skips defers, so the obs lifecycle brackets the run
 	// explicitly: trace/report/trace-out are written before exiting.
 	o.Start()
 	o.Root.SetAttr("analyzers", len(analyzers))
-	code := lintkit.Main(os.Stdout, *dir, flag.Args(), analyzers)
+	o.Root.SetAttr("workers", *workers)
+	code := lintkit.MainOpts(os.Stdout, *dir, flag.Args(), analyzers, opts)
 	o.Root.SetAttr("exit", code)
 	o.Finish()
 	os.Exit(code)

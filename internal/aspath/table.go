@@ -170,6 +170,8 @@ func (t *Table) Lookup(seq Seq) (ID, bool) {
 
 // Seq returns the sequence for id. The returned slice is owned by the
 // table and must not be mutated. Seq(Empty) returns nil. Lock-free.
+//
+//atomlint:borrowed table-owned: the slice aliases the intern arena and must not be mutated; it is stable for the table's lifetime
 func (t *Table) Seq(id ID) Seq {
 	seqs := *t.seqs.Load()
 	if int(id) >= len(seqs) {

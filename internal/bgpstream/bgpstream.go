@@ -163,6 +163,10 @@ func BytesSource(collector string, data []byte, opt bgp.Options) Source {
 // the same Next/Resync error contract, so the degradation machinery is
 // reader-agnostic.
 type recordReader interface {
+	// Next returns the next record; the Body may alias reader-owned
+	// storage and is valid only until the following Next/Resync call.
+	//
+	//atomlint:borrowed view into reader-owned storage, valid until the next Next/Resync
 	Next() (mrt.Record, error)
 	Resync(maxScan int) (int, error)
 }
@@ -716,6 +720,7 @@ func (s *Stream) Next() (Elem, error) {
 // (see DESIGN.md "Zero-copy ownership").
 //
 //atomlint:hotpath
+//atomlint:borrowed batch is valid until the next Next/NextBatch call; copy what outlives the window
 func (s *Stream) NextBatch() ([]Elem, error) {
 	s.ensureRunning()
 	for {
@@ -933,6 +938,7 @@ func (d *sourceDecoder) decode(rec mrt.Record) {
 				OldState: sc.OldState, NewState: sc.NewState, MsgIndex: d.msgCount,
 			})
 		case mrt.SubMessage, mrt.SubMessageAS4, mrt.SubMessageAP, mrt.SubMessageAS4AP:
+			//atomlint:scratch d.msg is per-decoder scratch, overwritten on every record; its views never cross a record boundary
 			if err := mrt.ParseMessageInto(&d.msg, rec.Subtype, rec.Body); err != nil {
 				d.warn(0, rec.Subtype, WarnBGP4MPMessage, fmt.Sprintf("BGP4MP message: %v", err))
 				return
@@ -1042,5 +1048,9 @@ func applyAttrs(e *Elem, attrs []bgp.Attr) {
 			path = p
 		}
 	}
+	// The attrs handed in are cache-owned (content-memoized, immutable,
+	// stream-lifetime) — storing their views in the batch Elem is the
+	// documented NextBatch window, not an escape.
+	//atomlint:owned cache-owned attributes are immutable and outlive the batch window
 	e.Path = path
 }

@@ -76,6 +76,7 @@ func NewSnapshotWith(time uint32, vps []VP, prefixes []netip.Prefix, paths *aspa
 // row). Mutations write through to the snapshot.
 //
 //atomlint:hotpath
+//atomlint:borrowed view into the snapshot's flat route matrix; valid while the snapshot lives
 func (s *Snapshot) Row(p int) []aspath.ID {
 	lo := p * s.stride
 	return s.routes[lo : lo+s.stride : lo+s.stride]
@@ -103,6 +104,8 @@ func (s *Snapshot) SetRoute(p, v int, seq aspath.Seq) {
 
 // Route returns the path sequence at (prefix index, vp index); nil if
 // missing.
+//
+//atomlint:borrowed aliases the intern table's arena via Paths.Seq
 func (s *Snapshot) Route(p, v int) aspath.Seq {
 	return s.Paths.Seq(s.RouteID(p, v))
 }
@@ -326,6 +329,10 @@ func finalizeAtoms(as *AtomSet, reps []int32, workers int) {
 	}
 	for i := range as.Atoms {
 		lo, hi := starts[i], starts[i+1]
+		// Atom.Vector aliases the snapshot's route matrix; AtomSet.Snap
+		// pins that snapshot, so the view lives exactly as long as the
+		// atoms that reference it.
+		//atomlint:owned AtomSet.Snap pins the snapshot backing these row views
 		as.Atoms[i] = Atom{
 			ID:       i,
 			Prefixes: backing[lo:hi:hi],

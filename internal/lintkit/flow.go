@@ -1,0 +1,384 @@
+package lintkit
+
+// flow.go is the intraprocedural value-flow engine under the aliasing
+// analyzer (and the escape/usage helpers lifecycle shares): a
+// per-function taint pass over assignments, composite literals, calls,
+// returns, sends, and closures. "Taint" here means "this value may
+// alias storage owned by a zero-copy producer" — a record body aliasing
+// the archive backing array, an arena row, an interned path sequence.
+// The engine is deliberately intraprocedural: a call's results are
+// owned by the caller unless the callee is a registered borrowed
+// producer, and a call's arguments are the callee's problem. That keeps
+// the analysis linear in the function body and makes every finding
+// locally explainable.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// flowFunc analyzes one function body. isSource designates the calls
+// whose results are borrowed (the producer set); view classifies the
+// types that can carry a borrowed reference. After run() the tainted
+// set is a fixpoint: monotone (a variable once tainted stays tainted —
+// re-owning a variable by overwriting it is not credited, only owning
+// *expressions* like string(b) or append-copies are) and closed over
+// assignments, := declarations, and range statements, including those
+// inside nested closures (captured variables share types.Object
+// identity with the enclosing scope, so taint flows in and out of
+// func literals for free).
+type flowFunc struct {
+	pkg      *Package
+	isSource func(*ast.CallExpr) bool
+	view     func(types.Type) bool
+	tainted  map[types.Object]bool
+}
+
+func newFlowFunc(pkg *Package, isSource func(*ast.CallExpr) bool, view func(types.Type) bool) *flowFunc {
+	return &flowFunc{pkg: pkg, isSource: isSource, view: view, tainted: map[types.Object]bool{}}
+}
+
+// run iterates the body's binding statements to a fixpoint. The cap
+// bounds pathological chains (a->b->c->... each iteration moves taint
+// one binding forward; real functions converge in two or three).
+func (fl *flowFunc) run(body *ast.BlockStmt) {
+	for i := 0; i < 8; i++ {
+		if !fl.pass(body) {
+			return
+		}
+	}
+}
+
+// pass applies every taint-transfer edge once; reports whether anything
+// changed.
+func (fl *flowFunc) pass(body *ast.BlockStmt) bool {
+	changed := false
+	taint := func(obj types.Object) {
+		if obj != nil && !fl.tainted[obj] {
+			fl.tainted[obj] = true
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			fl.transferAssign(st.Lhs, st.Rhs, taint)
+		case *ast.ValueSpec:
+			var lhs []ast.Expr
+			for _, name := range st.Names {
+				lhs = append(lhs, name)
+			}
+			fl.transferAssign(lhs, st.Values, taint)
+		case *ast.RangeStmt:
+			if fl.exprTainted(st.X) {
+				if id, ok := st.Value.(*ast.Ident); ok && fl.viewExpr(id) {
+					taint(fl.defOrUse(id))
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// transferAssign moves taint from RHS to LHS bindings. Only plain
+// identifier targets bind here — stores through fields, maps, indexes,
+// and derefs are escapes, judged by the analyzer's report phase, not
+// taint transfers.
+func (fl *flowFunc) transferAssign(lhs, rhs []ast.Expr, taint func(types.Object)) {
+	// Multi-value form: x, y := call().
+	if len(rhs) == 1 && len(lhs) > 1 {
+		if call, ok := unparen(rhs[0]).(*ast.CallExpr); ok && fl.isSource(call) {
+			if tup, ok := fl.pkg.Info.TypeOf(call).(*types.Tuple); ok {
+				for i, l := range lhs {
+					if i < tup.Len() && fl.viewType(tup.At(i).Type()) {
+						if id, ok := l.(*ast.Ident); ok {
+							taint(fl.defOrUse(id))
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		id, ok := l.(*ast.Ident)
+		if !ok || !fl.viewExpr(id) {
+			continue
+		}
+		if fl.exprTainted(rhs[i]) {
+			taint(fl.defOrUse(id))
+		}
+	}
+}
+
+// exprTainted reports whether evaluating e can yield a borrowed value.
+func (fl *flowFunc) exprTainted(e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return fl.tainted[fl.defOrUse(v)]
+	case *ast.SelectorExpr:
+		// Field read off a tainted value: the field carries the borrow
+		// only if its own type can hold a reference.
+		return fl.viewExpr(v) && fl.exprTainted(v.X)
+	case *ast.IndexExpr:
+		return fl.viewExpr(v) && fl.exprTainted(v.X)
+	case *ast.SliceExpr:
+		return fl.exprTainted(v.X)
+	case *ast.StarExpr:
+		return fl.exprTainted(v.X)
+	case *ast.TypeAssertExpr:
+		return fl.viewExpr(v) && fl.exprTainted(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return fl.exprTainted(v.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if fl.exprTainted(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return fl.callTainted(v)
+	}
+	return false
+}
+
+// callTainted classifies a call's result. Producer calls are the taint
+// sources. Builtin append propagates: appending a borrowed view (or a
+// slice of views) into a slice keeps the result borrowed — unless the
+// appended elements are plain bytes/scalars, in which case append
+// copies them and the result is owned (the canonical
+// append([]byte(nil), b...) deep-copy idiom). Conversions to string
+// copy and therefore own. Every other call returns owned values: if
+// the callee hands out a view it must be annotated as a producer.
+func (fl *flowFunc) callTainted(call *ast.CallExpr) bool {
+	if fl.isSource(call) {
+		// Single-result producer: the result is borrowed when its type
+		// can carry a reference (tuple results bind in transferAssign).
+		t := fl.pkg.Info.TypeOf(call)
+		if _, ok := t.(*types.Tuple); ok {
+			return false
+		}
+		return fl.viewType(t)
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := fl.pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+			return fl.appendTainted(call)
+		}
+	}
+	if target, ok := isTypeConversion(fl.pkg.Info, call); ok {
+		if isString(target.Underlying()) {
+			return false // string(b) copies: owned
+		}
+		return fl.exprTainted(call.Args[0]) // T(view) is still the view
+	}
+	return false
+}
+
+func (fl *flowFunc) appendTainted(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if fl.exprTainted(call.Args[0]) {
+		return true // growing a borrowed slice stays borrowed
+	}
+	for _, a := range call.Args[1:] {
+		if !fl.exprTainted(a) {
+			continue
+		}
+		// append copies element values: only elements that themselves
+		// hold references keep the result borrowed.
+		at := fl.pkg.Info.TypeOf(a)
+		if call.Ellipsis != token.NoPos {
+			if s, ok := at.Underlying().(*types.Slice); ok {
+				at = s.Elem()
+			}
+		}
+		if fl.viewType(at) {
+			return true
+		}
+	}
+	return false
+}
+
+func (fl *flowFunc) viewExpr(e ast.Expr) bool {
+	return fl.viewType(fl.pkg.Info.TypeOf(e))
+}
+
+func (fl *flowFunc) viewType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return fl.view(t)
+}
+
+func (fl *flowFunc) defOrUse(id *ast.Ident) types.Object {
+	if obj := fl.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return fl.pkg.Info.Uses[id]
+}
+
+// capturedTainted reports the first identifier inside the func literal
+// that references a tainted variable declared outside it — a closure
+// capture of a borrowed value.
+func (fl *flowFunc) capturedTainted(lit *ast.FuncLit) (*ast.Ident, bool) {
+	var found *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fl.pkg.Info.Uses[id]
+		if obj == nil || !fl.tainted[obj] {
+			return true
+		}
+		if declaredWithin(obj, lit) {
+			return true
+		}
+		found = id
+		return false
+	})
+	return found, found != nil
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// given node's source range — i.e. it is the closure's own local, not a
+// capture.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// --- escape-sink classification (shared with lifecycle) ---
+
+// heapBase reports whether a store through base lands in heap-reachable
+// storage from the enclosing function's point of view: anything behind
+// a pointer, a package-level variable, a map or slice element, or the
+// result of a call. A chain rooted at a plain local value variable is
+// stack-local — a store there propagates taint instead of escaping.
+func heapBase(info *types.Info, e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(v)
+		if obj == nil {
+			return true // unknown: be conservative
+		}
+		if vr, ok := obj.(*types.Var); ok {
+			if vr.Parent() == nil || vr.Parent().Parent() == types.Universe {
+				return true // package-level var
+			}
+			if _, isPtr := vr.Type().Underlying().(*types.Pointer); isPtr {
+				return true // local pointer: the pointee is heap-reachable
+			}
+			return false
+		}
+		return true
+	case *ast.SelectorExpr:
+		if t := info.TypeOf(v.X); t != nil {
+			if _, ok := t.Underlying().(*types.Pointer); ok {
+				return true
+			}
+		}
+		return heapBase(info, v.X)
+	case *ast.IndexExpr:
+		if t := info.TypeOf(v.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				return true
+			}
+		}
+		return heapBase(info, v.X)
+	case *ast.StarExpr, *ast.CallExpr:
+		return true
+	}
+	return true
+}
+
+// localVarObj resolves e to a function-local (non-package-level)
+// variable's object, or nil.
+func localVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	vr, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || vr.Parent() == nil || vr.Parent().Parent() == types.Universe {
+		return nil
+	}
+	return vr
+}
+
+// --- line directives (//atomlint:owned, //atomlint:scratch) ---
+
+// lineDirective is one parsed ownership declaration: owned marks an
+// explicit copy/ownership-transfer point (the stored value's lifetime
+// is pinned by a container the spec names), scratch declares a
+// heap-reachable slot as per-window scratch storage a producer may
+// write through. Both require a reason; both cover their own line and
+// the line below, exactly like //atomlint:ignore.
+type lineDirective struct {
+	file string
+	line int
+	kind string // "owned" or "scratch"
+}
+
+// collectLineDirectives parses owned/scratch declarations in the
+// package, reporting malformed ones (missing reason) through report.
+func collectLineDirectives(pkg *Package, report func(pos token.Pos, format string, args ...any)) []lineDirective {
+	var out []lineDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, kind := range []string{"owned", "scratch"} {
+					rest, ok := strings.CutPrefix(c.Text, "//atomlint:"+kind)
+					if !ok {
+						continue
+					}
+					if strings.TrimSpace(rest) == "" {
+						report(c.Pos(), "malformed atomlint:%s directive: a reason is mandatory — want \"//atomlint:%s <why the lifetime is safe>\"", kind, kind)
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, lineDirective{file: pos.Filename, line: pos.Line, kind: kind})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// declaredAt reports whether a directive of the given kind covers the
+// position (its own line or the line below the directive).
+func declaredAt(dirs []lineDirective, kind string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.kind == kind && d.file == pos.Filename && (d.line == pos.Line || d.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

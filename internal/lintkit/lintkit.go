@@ -16,11 +16,16 @@
 package lintkit
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
 )
 
 // Diag is one finding.
@@ -59,7 +64,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All is the full analyzer suite, in output order.
-var All = []*Analyzer{Determinism, Hotpath, WireSafety, Locks}
+var All = []*Analyzer{Determinism, Hotpath, WireSafety, Locks, Aliasing, Lifecycle}
 
 // byName resolves an analyzer name, for directive validation.
 func byName(name string) *Analyzer {
@@ -121,23 +126,59 @@ func suppressed(d Diag, ignores []ignoreDirective) bool {
 	return false
 }
 
-// RunAnalyzers applies the analyzers to each package, filters suppressed
-// findings, and returns the rest sorted by position.
+// RunAnalyzers applies the analyzers to each package sequentially,
+// filters suppressed findings, and returns the rest sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diag {
+	diags, _ := runGrid(pkgs, analyzers, 1)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's wall time summed across its
+// per-package tasks (concurrent tasks overlap, so the sum can exceed
+// the run's wall clock).
+type AnalyzerTiming struct {
+	Name string
+	Wall time.Duration
+}
+
+// runGrid fans the analyzer×package task grid out over a bounded worker
+// pool. Every task reports into its own slot and the merge walks slots
+// in (package, analyzer) order before the final position sort, so the
+// diagnostic stream is byte-identical at any worker count. Directive
+// parsing stays sequential: it is cheap, and its malformed-directive
+// findings must precede the analyzers' in the pre-sort stream.
+func runGrid(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diag, []AnalyzerTiming) {
+	ignoreDiags := make([][]Diag, len(pkgs))
+	ignores := make([][]ignoreDirective, len(pkgs))
+	for i, pkg := range pkgs {
+		ignores[i] = collectIgnores(pkg, &ignoreDiags[i])
+	}
+
+	slots := make([][]Diag, len(pkgs)*len(analyzers))
+	wall := make([]atomic.Int64, len(analyzers))
+	parallel.ForEach(workers, len(slots), func(t int) error {
+		i, j := t/len(analyzers), t%len(analyzers)
+		start := time.Now()
+		analyzers[j].Run(&Pass{Analyzer: analyzers[j], Pkg: pkgs[i], diags: &slots[t]})
+		wall[j].Add(int64(time.Since(start)))
+		return nil
+	})
+
 	var diags []Diag
-	for _, pkg := range pkgs {
-		var raw []Diag
-		ignores := collectIgnores(pkg, &raw)
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+	for i := range pkgs {
+		raw := append([]Diag(nil), ignoreDiags[i]...)
+		for j := range analyzers {
+			raw = append(raw, slots[i*len(analyzers)+j]...)
 		}
 		for _, d := range raw {
-			if !suppressed(d, ignores) {
+			if !suppressed(d, ignores[i]) {
 				diags = append(diags, d)
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
+	// Stable: diagnostics sharing a position keep the deterministic
+	// (package, directive-then-analyzer) merge order above.
+	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -150,7 +191,12 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diag {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for j, a := range analyzers {
+		timings[j] = AnalyzerTiming{Name: a.Name, Wall: time.Duration(wall[j].Load())}
+	}
+	return diags, timings
 }
 
 // Exit codes returned by Main.
@@ -160,12 +206,30 @@ const (
 	ExitError    = 2
 )
 
+// Options configures a driver run beyond the analyzer set.
+type Options struct {
+	// Workers bounds the analyzer×package tasks in flight; 0 means one
+	// per CPU, 1 runs inline. Findings are byte-identical at any count.
+	Workers int
+	// JSON emits the findings as a JSON array on w (machine-readable,
+	// for CI artifacts) instead of one text line per finding.
+	JSON bool
+	// Timings, when non-nil, receives one per-analyzer wall-time line
+	// after the run — kept off w so findings output stays stable.
+	Timings io.Writer
+}
+
 // Main is the driver behind cmd/atomlint: load the module at dir,
 // filter packages by the given patterns ("./..." or import-path /
 // directory prefixes; none means all), run the analyzers, and print
 // findings to w. Returns the process exit code: 0 clean, 1 findings,
 // 2 load error.
 func Main(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) int {
+	return MainOpts(w, dir, patterns, analyzers, Options{Workers: 1})
+}
+
+// MainOpts is Main with explicit Options.
+func MainOpts(w io.Writer, dir string, patterns []string, analyzers []*Analyzer, opts Options) int {
 	loader, err := NewLoader(dir)
 	if err != nil {
 		fmt.Fprintf(w, "atomlint: %v\n", err)
@@ -177,15 +241,48 @@ func Main(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) int
 		return ExitError
 	}
 	pkgs = filterPackages(pkgs, loader.ModPath, patterns)
-	diags := RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(w, d)
+	diags, timings := runGrid(pkgs, analyzers, opts.Workers)
+	if opts.Timings != nil {
+		for _, tm := range timings {
+			fmt.Fprintf(opts.Timings, "atomlint: %-12s %s\n", tm.Name, tm.Wall.Round(time.Millisecond))
+		}
+	}
+	if opts.JSON {
+		writeDiagsJSON(w, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(w, "atomlint: %d finding(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(w, "atomlint: %d finding(s)\n", len(diags))
 		return ExitFindings
 	}
 	return ExitClean
+}
+
+// writeDiagsJSON emits findings as a JSON array (always an array, `[]`
+// when clean) so CI can archive the run's findings as an artifact.
+func writeDiagsJSON(w io.Writer, diags []Diag) {
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }
 
 // filterPackages selects the packages matching the command-line

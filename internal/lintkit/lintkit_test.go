@@ -2,12 +2,15 @@ package lintkit
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // The fixtures under testdata/src mark each expected finding with a
@@ -130,6 +133,70 @@ func TestLocksFixture(t *testing.T) {
 	checkFixture(t, "locks", "repro/internal/lockfix", All)
 }
 
+func TestAliasingFixture(t *testing.T) {
+	checkFixture(t, "aliasing", "repro/internal/aliasfix", All)
+}
+
+// The required-producer fixture loads as internal/bgp — a package the
+// requiredBorrowed table pins — with one registered producer present but
+// unannotated and one absent entirely.
+func TestAliasingRequiredFixture(t *testing.T) {
+	checkFixture(t, "borrowedreq", "repro/internal/bgp", All)
+}
+
+func TestLifecycleFixture(t *testing.T) {
+	checkFixture(t, "lifecycle", "repro/internal/lifefix", All)
+}
+
+// TestAliasingDirectives pins the owned/scratch directive grammar and
+// the one-directive-many-findings ignore contract. Checked without want
+// markers: a malformed directive's finding lands on the directive's own
+// comment line, which cannot carry a marker comment too.
+func TestAliasingDirectives(t *testing.T) {
+	pkg := loadFixtureT(t, "aliasdir", "repro/internal/aliasfix")
+	diags := RunAnalyzers([]*Package{pkg}, All)
+
+	var malformed, escapes int
+	for _, d := range diags {
+		if d.Analyzer != "aliasing" {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "malformed atomlint:"):
+			malformed++
+		case strings.Contains(d.Message, "heap-reachable"):
+			escapes++
+		default:
+			t.Errorf("unexpected aliasing diagnostic: %s", d)
+		}
+		// The ignored() line held a field store and a package-var store;
+		// one //atomlint:ignore aliasing must have silenced both.
+		if strings.Contains(d.Message, "package variable") {
+			t.Errorf("ignore directive failed to suppress: %s", d)
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("malformed-directive diagnostics = %d, want 2 (bare owned + bare scratch): %v", malformed, diags)
+	}
+	// Malformed directives register nothing, so the escapes they sat
+	// above must still be reported.
+	if escapes != 2 {
+		t.Errorf("surviving escape diagnostics = %d, want 2: %v", escapes, diags)
+	}
+
+	// Inversion: with aliasing disabled the fixture is silent.
+	var rest []*Analyzer
+	for _, a := range All {
+		if a != Aliasing {
+			rest = append(rest, a)
+		}
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, rest); len(diags) != 0 {
+		t.Errorf("aliasdir fixture with aliasing disabled: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+}
+
 func TestClockSeamFixture(t *testing.T) {
 	checkFixture(t, "clockseam", "repro/internal/obs", All)
 }
@@ -170,6 +237,9 @@ func TestFixtureSilentWithAnalyzerDisabled(t *testing.T) {
 		{"hotreq", "repro/internal/bgpstream", Hotpath},
 		{"wiresafety", "repro/internal/bgp", WireSafety},
 		{"locks", "repro/internal/lockfix", Locks},
+		{"aliasing", "repro/internal/aliasfix", Aliasing},
+		{"borrowedreq", "repro/internal/bgp", Aliasing},
+		{"lifecycle", "repro/internal/lifefix", Lifecycle},
 	}
 	for _, tc := range cases {
 		var rest []*Analyzer
@@ -199,6 +269,14 @@ func TestScopedAnalyzersRespectPackagePaths(t *testing.T) {
 	pkg = loadFixtureT(t, "wiresafety", "repro/internal/obs")
 	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WireSafety}); len(diags) != 0 {
 		t.Errorf("wiresafety fixture under internal/obs: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+	pkg = loadFixtureT(t, "aliasing", "repro/internal/textplot")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Aliasing}); len(diags) != 0 {
+		t.Errorf("aliasing fixture under internal/textplot: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
+	}
+	pkg = loadFixtureT(t, "lifecycle", "repro/internal/textplot")
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{Lifecycle}); len(diags) != 0 {
+		t.Errorf("lifecycle fixture under internal/textplot: %d diagnostic(s), want 0 (first: %s)", len(diags), diags[0])
 	}
 }
 
@@ -292,6 +370,93 @@ func TestMainExitFindings(t *testing.T) {
 	out.Reset()
 	if got := Main(&out, dir, []string{"./internal/other/..."}, All); got != ExitClean {
 		t.Errorf("Main(./internal/other/...) = %d, want %d; output:\n%s", got, ExitClean, out.String())
+	}
+}
+
+// findingsTree is a small module with deterministic findings spread
+// over three scoped packages — enough tasks to exercise the grid merge.
+// The package names sit in the determinism scope but outside the
+// hotpath/aliasing required tables, so the count is exact.
+func findingsTree(t *testing.T) string {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":                        fixtureGoMod,
+		"internal/routing/routing.go":   "package routing\n\nimport \"time\"\n\n// Stamp is nondeterministic on purpose.\nfunc Stamp() int64 { return time.Now().Unix() }\n",
+		"internal/sanitize/sanitize.go": "package sanitize\n\nimport \"time\"\n\n// When is nondeterministic on purpose.\nfunc When() int64 { return time.Now().UnixNano() }\n",
+		"internal/metrics/metrics.go":   "package metrics\n\nimport \"time\"\n\n// Tick is nondeterministic on purpose.\nfunc Tick() int64 { return time.Now().UnixMilli() }\n",
+	})
+	return dir
+}
+
+// TestMainOptsWorkersDeterministic pins the grid driver's core
+// guarantee: findings output is byte-identical at any worker count.
+func TestMainOptsWorkersDeterministic(t *testing.T) {
+	parallel.ForceParallel(true)
+	defer parallel.ForceParallel(false)
+	dir := findingsTree(t)
+
+	var seq, par, timings bytes.Buffer
+	if got := MainOpts(&seq, dir, nil, All, Options{Workers: 1}); got != ExitFindings {
+		t.Fatalf("MainOpts(workers=1) = %d, want %d; output:\n%s", got, ExitFindings, seq.String())
+	}
+	if got := MainOpts(&par, dir, nil, All, Options{Workers: 8, Timings: &timings}); got != ExitFindings {
+		t.Fatalf("MainOpts(workers=8) = %d, want %d; output:\n%s", got, ExitFindings, par.String())
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("workers=1 and workers=8 output differ:\n--- 1:\n%s--- 8:\n%s", seq.String(), par.String())
+	}
+	// One wall-time line per analyzer, on the timings writer only.
+	lines := strings.Count(timings.String(), "\n")
+	if lines != len(All) {
+		t.Errorf("timings lines = %d, want %d:\n%s", lines, len(All), timings.String())
+	}
+	for _, a := range All {
+		if !strings.Contains(timings.String(), a.Name) {
+			t.Errorf("timings output missing analyzer %s:\n%s", a.Name, timings.String())
+		}
+	}
+}
+
+// TestMainOptsJSON pins the -json contract: a JSON array of findings
+// with stable fields, an empty array on a clean tree, and exit codes
+// unchanged.
+func TestMainOptsJSON(t *testing.T) {
+	dir := findingsTree(t)
+	var out bytes.Buffer
+	if got := MainOpts(&out, dir, nil, All, Options{Workers: 1, JSON: true}); got != ExitFindings {
+		t.Fatalf("MainOpts(json) = %d, want %d; output:\n%s", got, ExitFindings, out.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) != 3 {
+		t.Fatalf("json findings = %d, want 3: %s", len(findings), out.String())
+	}
+	for _, f := range findings {
+		if f.Analyzer != "determinism" || f.File == "" || f.Line == 0 || !strings.Contains(f.Message, "time.") {
+			t.Errorf("unexpected json finding: %+v", f)
+		}
+	}
+
+	// Clean tree: an empty array, not empty output.
+	clean := t.TempDir()
+	writeTree(t, clean, map[string]string{
+		"go.mod": fixtureGoMod,
+		"ok.go":  "package cleanmod\n\n// OK is fine.\nfunc OK() int { return 1 }\n",
+	})
+	out.Reset()
+	if got := MainOpts(&out, clean, nil, All, Options{Workers: 1, JSON: true}); got != ExitClean {
+		t.Fatalf("MainOpts(json, clean) = %d, want %d", got, ExitClean)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean json output = %q, want []", out.String())
 	}
 }
 

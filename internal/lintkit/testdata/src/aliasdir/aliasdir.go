@@ -1,0 +1,45 @@
+// Package aliasfix exercises the aliasing directive grammar: malformed
+// owned/scratch declarations (no reason) are findings and suppress
+// nothing, while a single well-formed //atomlint:ignore silences every
+// same-analyzer finding on the line it covers. Checked programmatically
+// (no want markers): a malformed directive's finding lands on the
+// directive's own comment line, which cannot also carry a marker.
+package aliasfix
+
+// Reader hands out views into its buffer.
+type Reader struct{ buf []byte }
+
+// View returns the buffer as a borrowed slice.
+//
+//atomlint:borrowed view into the reader's buffer
+func (r *Reader) View() []byte { return r.buf }
+
+// DecodeInto writes a view of b through m.
+//
+//atomlint:borrowed m aliases b
+func DecodeInto(m *[]byte, b []byte) error {
+	*m = b
+	return nil
+}
+
+// Sink is heap-reachable storage.
+type Sink struct{ data []byte }
+
+// Latest is a package-variable sink.
+var Latest []byte
+
+func malformedOwned(r *Reader, s *Sink) {
+	//atomlint:owned
+	s.data = r.View() // still a finding: the bare directive registered nothing
+}
+
+func malformedScratch(s *Sink, b []byte) {
+	//atomlint:scratch
+	DecodeInto(&s.data, b) // still a finding
+}
+
+func ignored(r *Reader, s *Sink) {
+	v := r.View()
+	//atomlint:ignore aliasing one directive covers every same-analyzer finding on the line
+	s.data, Latest = v, v // two escapes, both suppressed
+}

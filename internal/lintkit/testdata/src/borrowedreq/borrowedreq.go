@@ -1,0 +1,15 @@
+// Package bgp exercises the requiredBorrowed registry: Attr is a
+// registered zero-copy producer present but missing its annotation, and
+// ASPathAttr is registered but absent from the package entirely — the
+// rename guard fires on the package clause.
+package bgp // want "producer (*Update).ASPathAttr not found in package"
+
+// Update is a decoded BGP update carrying raw attribute views.
+type Update struct {
+	attrs [][]byte
+}
+
+// Attr returns the raw attribute view. It is in the requiredBorrowed
+// table and must carry the annotation; this unannotated version is the
+// finding under test.
+func (u *Update) Attr(i int) []byte { return u.attrs[i] } // want "must carry //atomlint:borrowed"

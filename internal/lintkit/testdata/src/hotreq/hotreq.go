@@ -1,8 +1,9 @@
-// Package bgpstream is the required-hotpath fixture: the pinned batch
-// kernel exists but lost its annotation, and the second pinned name has
+// Package bgpstream is the required-hotpath fixture: one pinned batch
+// kernel exists but lost its annotation, and the other pinned name has
 // no declaration at all (as if renamed without updating the analyzer's
-// table).
-package bgpstream // want "required hot-path function (*Stream).NextBatch not found in package"
+// table). The aliasing registry's producers for this package are
+// present and annotated so only the hotpath findings fire.
+package bgpstream // want "required hot-path function (*Stream).fill not found in package"
 
 // Stream is a stand-in for the decode stream.
 type Stream struct {
@@ -10,14 +11,21 @@ type Stream struct {
 	head  int
 }
 
-// fill refills the batch cursor. The real kernel carries
-// //atomlint:hotpath; this one dropped it.
-func (s *Stream) fill() bool { // want "pinned hot-path kernel"
-	if s.head < len(s.batch) {
-		return true
-	}
-	s.head = 0
-	return false
+// recordReader satisfies the aliasing registry's interface producer.
+type recordReader interface {
+	//atomlint:borrowed view into reader-owned storage
+	Next() ([]int, error)
+}
+
+// NextBatch is the pinned batch kernel. The real one carries
+// //atomlint:hotpath; this one dropped it (the borrowed annotation is a
+// different directive and must not satisfy the hotpath table).
+//
+//atomlint:borrowed batch is valid until the next call
+func (s *Stream) NextBatch() []int { // want "pinned hot-path kernel"
+	out := s.batch[s.head:]
+	s.head = len(s.batch)
+	return out
 }
 
 // drain is not in the required table, so its lack of annotation is
@@ -27,3 +35,5 @@ func (s *Stream) drain() []int {
 	out = append(out, s.batch[s.head:]...)
 	return out
 }
+
+var _ recordReader = nil

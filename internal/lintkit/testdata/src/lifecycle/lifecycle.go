@@ -1,0 +1,163 @@
+// Package lifefix is the lifecycle analyzer's golden fixture: every
+// goroutine, ticker, WaitGroup, channel, and closable-field discipline
+// violation the analyzer knows, each marked with its expected
+// diagnostic — plus the disciplined versions of the same patterns,
+// which must stay silent.
+package lifefix
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var counter int
+
+func spawnOpaque() {
+	go fmt.Println("boot") // want "opaque callee"
+}
+
+func spawnNoJoin() {
+	go func() { // want "no join or cancel path"
+		counter++
+	}()
+}
+
+func worker() { counter++ }
+
+func spawnNamedNoJoin() {
+	go worker() // want "goroutine runs worker, which has no join or cancel path"
+}
+
+func tickerLeak() {
+	t := time.NewTicker(time.Second) // want "never Stopped"
+	<-t.C
+}
+
+func timerLeak() {
+	tm := time.NewTimer(time.Second) // want "never Stopped"
+	<-tm.C
+}
+
+func tickLeak() {
+	for range time.Tick(time.Second) { // want "time.Tick leaks its ticker"
+		counter++
+	}
+}
+
+func afterLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want "time.After in a loop"
+			counter++
+		case <-stop:
+			return
+		}
+	}
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "races Wait"
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func addWithoutWait(stop chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "Add but no Wait"
+	go func() {
+		defer wg.Done()
+		<-stop
+	}()
+}
+
+func loopFanout(stop chan struct{}) {
+	for i := 0; i < 4; i++ {
+		go func() { // want "unbounded fan-out"
+			<-stop
+		}()
+	}
+}
+
+func parkedSender() {
+	ch := make(chan int) // want "senders park forever"
+	ch <- 1
+}
+
+// pump stores a ticker no method ever Stops.
+type pump struct {
+	tick *time.Ticker
+}
+
+func newPump() *pump {
+	return &pump{tick: time.NewTicker(time.Second)} // want "no method of pump ever Stops it"
+}
+
+// conn is a closable resource.
+type conn struct{ open bool }
+
+// Close tears the connection down.
+func (c *conn) Close() error { c.open = false; return nil }
+
+// holder stores a closable no method ever closes.
+type holder struct {
+	c *conn
+}
+
+func fillHolder(h *holder) {
+	h.c = &conn{open: true} // want "no method of holder ever closes it"
+}
+
+// --- the disciplined versions: all silent ---
+
+// server wires both resources into its Close.
+type server struct {
+	c    *conn
+	tick *time.Ticker
+}
+
+// NewServer hands ownership of both resources to the server.
+func NewServer() *server {
+	return &server{c: &conn{open: true}, tick: time.NewTicker(time.Second)}
+}
+
+// Close is the teardown path the field checks demand.
+func (s *server) Close() error {
+	s.tick.Stop()
+	return s.c.Close()
+}
+
+// NewConn is the constructor idiom the local-resource check recognizes.
+func NewConn() *conn { return &conn{open: true} }
+
+func dialAndHandOff() *conn {
+	c := NewConn() // escapes via return: the caller owns the teardown
+	return c
+}
+
+func tickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func properWorkers(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counter++
+		}()
+	}
+	wg.Wait()
+}
+
+func drainedChannel() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

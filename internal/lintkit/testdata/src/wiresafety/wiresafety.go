@@ -1,8 +1,24 @@
 // Package wirefix exercises the wiresafety analyzer. The test loads it
-// under "repro/internal/mrt" so the wire-codec scope applies.
+// under "repro/internal/bgp" so the wire-codec scope applies (under
+// internal/mrt the hotpath kernel table would bleed in).
 package wirefix
 
 import "encoding/binary"
+
+// Update satisfies the aliasing registry for the internal/bgp path:
+// both registered zero-copy producers present and annotated, keeping
+// this fixture wiresafety-only.
+type Update struct{ attrs [][]byte }
+
+// Attr returns the raw attribute view.
+//
+//atomlint:borrowed attribute views alias the decode buffer
+func (u *Update) Attr(i int) []byte { return u.attrs[i] }
+
+// ASPathAttr returns the merged path attribute view.
+//
+//atomlint:borrowed the merged path aliases cache-owned segments
+func (u *Update) ASPathAttr() []byte { return u.attrs[0] }
 
 func marshalUnguarded(name string, data []byte) []byte {
 	var out []byte

@@ -101,6 +101,7 @@ func ParseMessage(subtype uint16, b []byte) (*Message, error) {
 // is reused. Allocation-free hot path for streaming decoders.
 //
 //atomlint:hotpath
+//atomlint:borrowed m.Data aliases b; the out-param slot must be a local or a declared scratch
 func ParseMessageInto(m *Message, subtype uint16, b []byte) error {
 	*m = Message{}
 	switch subtype {

@@ -39,6 +39,7 @@ func (r *BytesReader) Offset() int { return r.off }
 // bytes, so Resync recovers from the same place either way.
 //
 //atomlint:hotpath
+//atomlint:borrowed Record.Body aliases the archive bytes handed to NewBytesReader
 func (r *BytesReader) Next() (Record, error) {
 	rest := r.data[r.off:]
 	if len(rest) == 0 {
@@ -132,6 +133,8 @@ func countRecords(data []byte) int {
 // *bytes.Reader the archive is decoded in place: a first-pass header
 // scan sizes the output slice exactly, and record bodies alias one
 // backing buffer instead of being copied record by record.
+//
+//atomlint:borrowed on the *bytes.Reader fast path the record bodies alias one backing buffer owned by the returned slice
 func ReadAll(rd io.Reader) ([]Record, error) {
 	if br, ok := rd.(*bytes.Reader); ok {
 		data := make([]byte, br.Len())

@@ -27,6 +27,7 @@ type DebugServer struct {
 	ln    net.Listener
 	srv   *http.Server
 	start time.Time
+	done  chan struct{} // closed when the Serve goroutine exits
 }
 
 // ServeDebug binds addr and serves the observability surface in a
@@ -73,14 +74,23 @@ func ServeDebug(addr, tool string, args []string, root *Span, reg *Registry) (*D
 	})
 
 	d.srv = &http.Server{Handler: mux}
-	go d.srv.Serve(ln)
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(ln)
+	}()
 	return d, nil
 }
 
-// Close stops the server. Nil-safe.
+// Close stops the server, releases the listener, and joins the Serve
+// goroutine: when Close returns, the port is free and no goroutine
+// remains. Nil-safe.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
-	return d.srv.Close()
+	err := d.srv.Close()
+	d.ln.Close() // idempotent: srv.Close tears down its listeners too
+	<-d.done
+	return err
 }

@@ -180,3 +180,37 @@ func TestScrapeUnderLoad(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestCloseJoinsServeGoroutine pins the teardown contract the lifecycle
+// analyzer enforces: Close must join the background Serve goroutine and
+// release the listener, so a caller (atomd restarting its debug
+// endpoint, a test rebinding the port) can rely on "Close returned"
+// meaning "nothing is left running and the port is free".
+func TestCloseJoinsServeGoroutine(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0", "atomtest", nil, nil, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The Serve goroutine must have fully exited by the time Close
+	// returns — the done channel is closed, not merely closing.
+	select {
+	case <-d.done:
+	default:
+		t.Fatal("Close returned before the Serve goroutine exited")
+	}
+	// The port is released: rebinding the exact address succeeds.
+	d2, err := ServeDebug(d.Addr, "atomtest", nil, nil, NewRegistry())
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", d.Addr, err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Requests after Close fail: the server really stopped.
+	if _, err := http.Get("http://" + d.Addr + "/healthz"); err == nil {
+		t.Fatal("GET after Close succeeded; server still serving")
+	}
+}

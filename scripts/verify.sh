@@ -40,8 +40,18 @@ check_coverage() {
 echo "== go vet ./..."
 go vet ./...
 
-echo "== atomlint ./... (determinism, hotpath, wiresafety, locks)"
-go run ./cmd/atomlint ./...
+echo "== atomlint ./... (determinism, hotpath, wiresafety, locks, aliasing, lifecycle)"
+lint_start="$(date +%s)"
+go run ./cmd/atomlint -workers 0 ./...
+lint_elapsed="$(( $(date +%s) - lint_start ))"
+# Lint wall-time gate: the parallel grid keeps the full-suite sweep
+# (including go run's compile) well under this; a blowout means an
+# analyzer regressed to superlinear work.
+if [ "$lint_elapsed" -gt 120 ]; then
+	echo "atomlint took ${lint_elapsed}s, over the 120s wall-time gate"
+	exit 1
+fi
+echo "atomlint wall time: ${lint_elapsed}s (gate 120s)"
 
 echo "== go build ./..."
 go build ./...
@@ -81,6 +91,7 @@ check_coverage internal/bgpstream 90
 check_coverage internal/sanitize 84
 check_coverage internal/mrt 90
 check_coverage internal/obs 85
+check_coverage internal/lintkit 85
 
 echo "== fuzz smoke (5s per wire codec + reader resync loop)"
 go test -fuzz FuzzParseMessage -fuzztime 5s -run '^$' ./internal/mrt/
