@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint bench bench-all verify fuzz-corpus golden-update
+.PHONY: build test lint bench bench-all verify fuzz-corpus golden-update atomd-smoke
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ lint:
 	$(GO) run ./cmd/atomlint ./...
 
 # Key benchmarks (native GOMAXPROCS plus a -cpu 8 rerun of the RunTrend
-# matrix), distilled into BENCH_pr6.json (see scripts/bench.sh).
+# matrix), distilled into BENCH_pr10.json (see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
 
@@ -36,3 +36,9 @@ fuzz-corpus:
 # Re-pin the golden end-to-end fixture (testdata/golden/).
 golden-update:
 	$(GO) test -run TestGolden -update .
+
+# Operator-facing smoke of the streaming daemon: boot cmd/atomd over
+# the golden RIBs, ingest the golden updates over TCP, query HTTP and
+# the binary port live, SIGTERM, demand a clean drain.
+atomd-smoke:
+	$(GO) run scripts/atomdsmoke.go

@@ -1,0 +1,137 @@
+// Golden end-to-end fixture for the atomd daemon: boot from the golden
+// RIB archives, stream the golden update archives through real TCP
+// ingest sessions, then pin every query surface — the HTTP JSON
+// bodies, the binary query-port replies, the ingest ledger, and the
+// materialized snapshot text — byte-for-byte in testdata/golden/
+// atomd.txt. Any change to the wire protocol, the decode path, the
+// apply loop, or the render format fails here and must be re-pinned
+// deliberately with:
+//
+//	go test -run TestGoldenAtomd -update
+package repro
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/atomd"
+	"repro/internal/bgp"
+	"repro/internal/bgpstream"
+	"repro/internal/faultgen/harness"
+	"repro/internal/sanitize"
+)
+
+func TestGoldenAtomd(t *testing.T) {
+	cfg := goldenConfig()
+	w := harness.BuildWorld(cfg)
+
+	ribNames := make([]string, 0, len(w.Ribs))
+	for name := range w.Ribs {
+		ribNames = append(ribNames, name)
+	}
+	sort.Strings(ribNames)
+	var ribs []bgpstream.Source
+	for _, name := range ribNames {
+		ribs = append(ribs, bgpstream.BytesSource(name, w.Ribs[name], bgp.Options{}))
+	}
+	opts := sanitize.Defaults()
+	opts.Family = 4 // cmd/atomd's default
+	snap, _, err := sanitize.Clean(ribs, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := atomd.NewServer(atomd.Config{Snapshot: snap, Workers: cfg.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	mux := http.NewServeMux()
+	srv.RegisterHTTP(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Sequential per-collector sessions: flush boundaries depend only on
+	// each session's own byte stream, so the ledger and epoch are
+	// deterministic.
+	updNames := make([]string, 0, len(w.Upds))
+	for name := range w.Upds {
+		updNames = append(updNames, name)
+	}
+	sort.Strings(updNames)
+	for _, name := range updNames {
+		c, err := atomd.Dial(srv.Addr(), name)
+		if err != nil {
+			t.Fatalf("dial %s: %v", name, err)
+		}
+		if err := c.Send(w.Upds[name]); err != nil {
+			t.Fatalf("send %s: %v", name, err)
+		}
+		if err := c.Drain(); err != nil {
+			t.Fatalf("drain %s: %v", name, err)
+		}
+		c.Close()
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "golden atomd v1\n")
+	fmt.Fprintf(&b, "scenario topo=%d scale=%g era=%dQ%d collectors=%d\n",
+		cfg.TopoSeed, cfg.Scale, cfg.Year, cfg.Quarter, cfg.Collectors)
+
+	pfx := snap.Prefixes[0]
+	fmt.Fprintf(&b, "http /atoms/epoch %s", get("/atoms/epoch"))
+	fmt.Fprintf(&b, "http /atoms/sameatom?p=0&q=1 %s", get("/atoms/sameatom?p=0&q=1"))
+	fmt.Fprintf(&b, "http /atoms/membercount?p=0 %s", get("/atoms/membercount?p=0"))
+	fmt.Fprintf(&b, "http /atoms/prefix?prefix=%s %s", pfx, get("/atoms/prefix?prefix="+pfx.String()))
+	fmt.Fprintf(&b, "http /atoms/ingest %s", get("/atoms/ingest"))
+
+	qc, err := atomd.DialQuery(srv.QueryAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	epoch, atoms, prefixes, err := qc.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "binary epoch %d atoms %d prefixes %d\n", epoch, atoms, prefixes)
+	same, _, err := qc.SameAtom(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "binary sameatom 0 1 %v\n", same)
+	count, _, err := qc.MemberCount(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "binary membercount 0 %d\n", count)
+	row, atom, count, _, err := qc.PrefixAtom(pfx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "binary prefixatom %s row %d atom %d count %d\n", pfx, row, atom, count)
+
+	fmt.Fprintf(&b, "snapshot:\n%s", get("/atoms/snapshot?workers=1"))
+	checkGolden(t, "atomd.txt", []byte(b.String()))
+}

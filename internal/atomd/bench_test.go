@@ -1,0 +1,70 @@
+// Daemon benchmarks: point-query latency on the published view (the
+// numbers a dashboard poller or sidecar cares about) and end-to-end
+// TCP ingest throughput from framed bytes to applied deltas.
+package atomd
+
+import (
+	"testing"
+
+	"repro/internal/faultgen/harness"
+)
+
+// BenchmarkAtomdQuery times the zero-alloc hot path per query kind.
+func BenchmarkAtomdQuery(b *testing.B) {
+	w := harness.BuildWorld(harness.DefaultConfig(71))
+	srv := newTestServer(b, w.Ribs, 1)
+	ingestConcurrent(b, srv, w.Upds)
+	n := srv.PrefixCount()
+
+	b.Run("sameatom", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			if srv.SameAtom(i%n, (i*7+1)%n) {
+				sink++
+			}
+		}
+		_ = sink
+	})
+	b.Run("membercount", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += srv.MemberCount(i % n)
+		}
+		_ = sink
+	})
+	b.Run("prefixatom", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := int32(0)
+		for i := 0; i < b.N; i++ {
+			sink += srv.PrefixAtom(i % n)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAtomdIngest times the full live path — TCP framing, wire
+// state machine, batch decode, mapping, apply, view republish — and
+// reports applied update throughput.
+func BenchmarkAtomdIngest(b *testing.B) {
+	w := harness.BuildWorld(harness.DefaultConfig(72))
+	var updates int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv := newTestServer(b, w.Ribs, 1)
+		b.StartTimer()
+		ingestConcurrent(b, srv, w.Upds)
+		b.StopTimer()
+		updates = 0
+		for _, st := range srv.IngestStats() {
+			updates += st.Updates
+		}
+		srv.Shutdown()
+		b.StartTimer()
+	}
+	if updates > 0 {
+		b.ReportMetric(float64(updates)*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+	}
+}

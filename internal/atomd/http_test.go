@@ -1,0 +1,249 @@
+// HTTP surface and binary query-port error paths: every /atoms
+// endpoint answers well-formed JSON (or canonical snapshot text), bad
+// parameters get 400s, and malformed binary queries get FrameError
+// replies without killing the connection.
+package atomd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/faultgen/harness"
+)
+
+// httpServer boots a daemon and mounts its HTTP surface on a test mux.
+func httpServer(t *testing.T, seed uint64) (*Server, *httptest.Server) {
+	t.Helper()
+	w := harness.BuildWorld(harness.DefaultConfig(seed))
+	srv := newTestServer(t, w.Ribs, 1)
+	mux := http.NewServeMux()
+	srv.RegisterHTTP(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// getJSON fetches url and decodes the body into out, failing on any
+// non-200.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content-type %q", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	srv, ts := httpServer(t, 51)
+
+	var epoch struct {
+		Epoch    uint64 `json:"epoch"`
+		Atoms    int    `json:"atoms"`
+		Prefixes int    `json:"prefixes"`
+	}
+	getJSON(t, ts.URL+"/atoms/epoch", &epoch)
+	if epoch.Atoms != srv.AtomCount() || epoch.Prefixes != srv.PrefixCount() {
+		t.Fatalf("epoch doc %+v disagrees with server (%d atoms, %d prefixes)",
+			epoch, srv.AtomCount(), srv.PrefixCount())
+	}
+
+	var same struct {
+		P, Q int
+		Same bool `json:"same"`
+	}
+	getJSON(t, ts.URL+"/atoms/sameatom?p=0&q=0", &same)
+	if !same.Same {
+		t.Fatal("sameatom(0,0) = false")
+	}
+
+	var mc struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/atoms/membercount?p=0", &mc)
+	if mc.Count != srv.MemberCount(0) {
+		t.Fatalf("membercount doc %d != server %d", mc.Count, srv.MemberCount(0))
+	}
+
+	// A prefix from the serving universe resolves; one outside answers
+	// row -1 with a 200 (absence is an answer, not an error).
+	known := srv.snap.Prefixes[0]
+	var pd struct {
+		Row   int   `json:"row"`
+		Atom  int32 `json:"atom"`
+		Count int   `json:"count"`
+	}
+	getJSON(t, ts.URL+"/atoms/prefix?prefix="+known.String(), &pd)
+	if pd.Row != 0 || pd.Atom < 0 || pd.Count < 1 {
+		t.Fatalf("known prefix %s answered %+v", known, pd)
+	}
+	getJSON(t, ts.URL+"/atoms/prefix?prefix=255.255.255.255/32", &pd)
+	if pd.Row != -1 || pd.Atom != -1 || pd.Count != 0 {
+		t.Fatalf("unknown prefix answered %+v, want row=-1 atom=-1 count=0", pd)
+	}
+
+	// Snapshot text equals an in-process materialization.
+	resp, err := http.Get(ts.URL + "/atoms/snapshot?workers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 0, 1<<20)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	want := RenderAtoms(srv.MaterializeAtoms(1))
+	if string(body) != string(want) {
+		t.Fatalf("snapshot body diverges from MaterializeAtoms at byte %d", diffIndex(body, want))
+	}
+
+	// Ingest ledger renders empty slices, never null (golden stability).
+	var raw map[string]json.RawMessage
+	getJSON(t, ts.URL+"/atoms/ingest", &raw)
+	for _, key := range []string{"sources", "quarantined"} {
+		if string(raw[key]) == "null" {
+			t.Fatalf("/atoms/ingest %q is null, want []", key)
+		}
+	}
+}
+
+func TestHTTPBadParams(t *testing.T) {
+	_, ts := httpServer(t, 52)
+	for _, path := range []string{
+		"/atoms/sameatom",               // missing p and q
+		"/atoms/sameatom?p=0&q=banana",  // non-numeric
+		"/atoms/membercount?p=",         // empty
+		"/atoms/prefix?prefix=not-cidr", // unparseable
+		"/atoms/snapshot?workers=-1",    // negative
+		"/atoms/snapshot?workers=x",     // non-numeric
+	} {
+		if code := getStatus(t, ts.URL+path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, code)
+		}
+	}
+}
+
+// TestHTTPOutOfRangeRows pins the hot-path contract for absurd row
+// indices: definitive negative answers, no panic, no 500.
+func TestHTTPOutOfRangeRows(t *testing.T) {
+	srv, ts := httpServer(t, 53)
+	n := srv.PrefixCount()
+	var same struct {
+		Same bool `json:"same"`
+	}
+	getJSON(t, ts.URL+"/atoms/sameatom?p=-1&q=0", &same)
+	if same.Same {
+		t.Fatal("sameatom(-1,0) = true")
+	}
+	var mc struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/atoms/membercount?p=1000000000", &mc)
+	if mc.Count != 0 {
+		t.Fatalf("membercount(1e9) = %d, want 0", mc.Count)
+	}
+	if srv.SameAtom(n, 0) || srv.SameAtom(0, -5) || srv.PrefixAtom(n) != -1 || srv.MemberCount(-1) != 0 {
+		t.Fatal("in-process out-of-range queries not definitively negative")
+	}
+}
+
+// TestQueryPortErrors sends malformed binary requests: each must get a
+// FrameError reply (surfaced as a Go error by the client) and leave
+// the connection serviceable for the next request.
+func TestQueryPortErrors(t *testing.T) {
+	w := harness.BuildWorld(harness.DefaultConfig(54))
+	srv := newTestServer(t, w.Ribs, 1)
+	qc, err := DialQuery(srv.QueryAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	cases := []struct {
+		name    string
+		typ     byte
+		payload []byte
+		want    string
+	}{
+		{"sameatom short", FrameSameAtom, []byte{1, 2, 3}, "8-byte payload"},
+		{"membercount long", FrameMemberCount, make([]byte, 9), "4-byte payload"},
+		{"prefixatom empty", FramePrefixAtom, nil, "4 or 16 addr bytes"},
+		{"prefixatom bad addr len", FramePrefixAtom, make([]byte, 9), "4 or 16 addr bytes"},
+		{"prefixatom bad bits", FramePrefixAtom, append([]byte{99}, make([]byte, 4)...), "bad bit count"},
+		{"foreign opcode", FrameData, []byte("hello"), "unknown query opcode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := qc.Do(tc.typ, tc.payload)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+			// The connection survives: a well-formed query still answers.
+			if _, _, _, err := qc.Epoch(); err != nil {
+				t.Fatalf("connection dead after error reply: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueryPortPrefixAtom exercises the binary prefix lookup: a known
+// v4 prefix resolves consistently with the in-process path, an unknown
+// one answers the sentinel triple, and a v6 lookup on a v4 universe is
+// a clean miss.
+func TestQueryPortPrefixAtom(t *testing.T) {
+	w := harness.BuildWorld(harness.DefaultConfig(55))
+	srv := newTestServer(t, w.Ribs, 1)
+	qc, err := DialQuery(srv.QueryAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	known := srv.snap.Prefixes[0]
+	row, atom, count, _, err := qc.PrefixAtom(known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != 0 || atom != srv.PrefixAtom(0) || count != srv.MemberCount(0) {
+		t.Fatalf("binary prefixatom(%s) = (%d,%d,%d), in-process = (0,%d,%d)",
+			known, row, atom, count, srv.PrefixAtom(0), srv.MemberCount(0))
+	}
+
+	for _, miss := range []string{"255.255.255.255/32", "2001:db8::/32"} {
+		row, atom, count, _, err := qc.PrefixAtom(netip.MustParsePrefix(miss))
+		if err != nil {
+			t.Fatalf("miss %s: %v", miss, err)
+		}
+		if row != -1 || atom != -1 || count != 0 {
+			t.Fatalf("miss %s answered (%d,%d,%d), want (-1,-1,0)", miss, row, atom, count)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// The ingest wire state machine, separated from the network so
+// FuzzIngestFrame can drive it with arbitrary frames and no sockets:
+// sequence tracking, duplicate suppression, gap NAKs with a bounded
+// rewind budget, and quarantine. The session glue in session.go owns
+// the conn and the decode pipeline; this type owns the protocol.
+package atomd
+
+import (
+	"fmt"
+	"io"
+)
+
+// maxNaks bounds the rewinds one session may demand before the server
+// quarantines it — the wire-level analogue of bgpstream's
+// per-source resync budget, and the same bound (8).
+const maxNaks = 8
+
+// ingestState is one ingest session's protocol state. The zero value
+// is a fresh session awaiting its hello.
+type ingestState struct {
+	helloSeen   bool
+	collector   string
+	acked       uint64 // contiguous payload bytes accepted (stream offset)
+	naks        int
+	eof         bool
+	quarantined bool
+	reason      string // why the session quarantined, "" while healthy
+}
+
+// frameResult tells the session glue what HandleFrame decided.
+type frameResult struct {
+	// resp is the encoded response to write to the peer (may be empty).
+	resp []byte
+	// drained is set when the frame was a clean EOF: the glue must
+	// drain the decode pipeline, then send respondDrained.
+	drained bool
+	// closed is set when the session is over (quarantine or EOF): the
+	// glue should stop reading frames after flushing resp.
+	closed bool
+}
+
+// HandleFrame applies one decoded frame: accepted DATA payload bytes
+// are written to w (the decode pipe) and the response frame is
+// appended to resp's storage. Never panics on any frame — malformed
+// protocol either elicits a NAK within budget or quarantines.
+func (s *ingestState) handleFrame(fr Frame, w io.Writer, resp []byte) (frameResult, error) {
+	if s.quarantined {
+		return frameResult{resp: resp, closed: true}, nil
+	}
+	switch fr.Type {
+	case FrameHello:
+		if s.helloSeen {
+			return s.quarantine(resp, "duplicate hello")
+		}
+		if len(fr.Payload) == 0 || len(fr.Payload) > 255 {
+			return s.quarantine(resp, "hello: collector name empty or over 255 bytes")
+		}
+		s.helloSeen = true
+		s.collector = string(fr.Payload)
+		// A resume: the client restarts the stream at the offset the
+		// previous incarnation acked; bytes before it are already in
+		// the daemon's matrix (re-applying a suffix is idempotent, so
+		// over-acking by the client is the only unsafe direction).
+		s.acked = fr.Seq
+		return frameResult{resp: AppendFrame(resp, FrameAck, s.acked, nil)}, nil
+
+	case FrameData:
+		if !s.helloSeen {
+			return s.quarantine(resp, "data before hello")
+		}
+		if s.eof {
+			return s.quarantine(resp, "data after eof")
+		}
+		end := fr.Seq + uint64(len(fr.Payload))
+		if end < fr.Seq {
+			return s.quarantine(resp, "data: offset overflow")
+		}
+		switch {
+		case fr.Seq > s.acked:
+			// Gap: a frame went missing (or arrived damaged and was
+			// scanned past). Ask for a rewind, within budget.
+			s.naks++
+			if s.naks > maxNaks {
+				return s.quarantine(resp, fmt.Sprintf("nak budget exhausted (%d rewinds)", maxNaks))
+			}
+			return frameResult{resp: AppendFrame(resp, FrameNak, s.acked, nil)}, nil
+		case end <= s.acked:
+			// Pure duplicate (retransmission overshoot): drop, re-ack.
+			return frameResult{resp: AppendFrame(resp, FrameAck, s.acked, nil)}, nil
+		default:
+			// Accept the unseen tail; an overlapping head was already
+			// written to the pipe and must not be decoded twice.
+			if _, err := w.Write(fr.Payload[s.acked-fr.Seq:]); err != nil {
+				return frameResult{resp: resp}, err
+			}
+			s.acked = end
+			return frameResult{resp: AppendFrame(resp, FrameAck, s.acked, nil)}, nil
+		}
+
+	case FrameEOF:
+		if !s.helloSeen {
+			return s.quarantine(resp, "eof before hello")
+		}
+		if fr.Seq != s.acked {
+			// The client thinks it sent more (or less) than we accepted:
+			// tell it where we are so it can retransmit and re-EOF.
+			s.naks++
+			if s.naks > maxNaks {
+				return s.quarantine(resp, fmt.Sprintf("nak budget exhausted (%d rewinds)", maxNaks))
+			}
+			return frameResult{resp: AppendFrame(resp, FrameNak, s.acked, nil)}, nil
+		}
+		s.eof = true
+		return frameResult{resp: resp, drained: true, closed: true}, nil
+
+	default:
+		// Foreign frame type on the ingest port (a query opcode, say):
+		// answer with an error frame and carry on — harmless confusion,
+		// not stream damage.
+		return frameResult{resp: AppendFrameFlags(resp, FrameError, 0, fr.Seq, []byte("unexpected frame type on ingest port"))}, nil
+	}
+}
+
+// respondDrained encodes the FlagDrained ack that answers a clean EOF
+// after the decode pipeline has fully drained.
+func (s *ingestState) respondDrained(resp []byte) []byte {
+	return AppendFrameFlags(resp, FrameAck, FlagDrained, s.acked, nil)
+}
+
+// quarantine marks the session unrecoverable and encodes the final
+// error frame. The session glue closes the connection after flushing.
+func (s *ingestState) quarantine(resp []byte, reason string) (frameResult, error) {
+	s.quarantined = true
+	s.reason = reason
+	return frameResult{
+		resp:   AppendFrameFlags(resp, FrameError, 0, s.acked, []byte(reason)),
+		closed: true,
+	}, nil
+}

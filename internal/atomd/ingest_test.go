@@ -1,0 +1,302 @@
+// Protocol error paths: the ingest state machine driven frame by frame
+// (no sockets), wire-level abuse over real connections, and the query
+// ports' malformed-request handling. Every response the server emits
+// must itself parse as a frame — the protocol never answers garbage
+// with garbage.
+package atomd
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/faultgen/harness"
+)
+
+// parseOne decodes exactly one frame out of resp.
+func parseOne(t *testing.T, resp []byte) Frame {
+	t.Helper()
+	var fp FrameParser
+	fp.Feed(resp)
+	fr, ok, err := fp.Next()
+	if err != nil || !ok {
+		t.Fatalf("response is not a parseable frame: ok=%v err=%v bytes=%x", ok, err, resp)
+	}
+	fr.Payload = append([]byte(nil), fr.Payload...)
+	return fr
+}
+
+func hello(collector string, seq uint64) Frame {
+	return Frame{Type: FrameHello, Seq: seq, Payload: []byte(collector)}
+}
+
+func TestIngestStateHelloValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fr   Frame
+		why  string
+	}{
+		{"empty name", hello("", 0), "empty or over 255"},
+		{"oversized name", hello(strings.Repeat("x", 256), 0), "empty or over 255"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var st ingestState
+			res, err := st.handleFrame(tc.fr, io.Discard, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.quarantined || !res.closed {
+				t.Fatalf("bad hello not quarantined: %+v", st)
+			}
+			if fr := parseOne(t, res.resp); fr.Type != FrameError || !strings.Contains(string(fr.Payload), tc.why) {
+				t.Fatalf("want FrameError mentioning %q, got type=%d %q", tc.why, fr.Type, fr.Payload)
+			}
+		})
+	}
+}
+
+func TestIngestStateDuplicateHello(t *testing.T) {
+	var st ingestState
+	if _, err := st.handleFrame(hello("rrc00", 0), io.Discard, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.handleFrame(hello("rrc00", 0), io.Discard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.quarantined {
+		t.Fatal("duplicate hello accepted")
+	}
+	if fr := parseOne(t, res.resp); fr.Type != FrameError {
+		t.Fatalf("want FrameError, got %d", fr.Type)
+	}
+}
+
+func TestIngestStateDataBeforeHello(t *testing.T) {
+	var st ingestState
+	res, _ := st.handleFrame(Frame{Type: FrameData, Seq: 0, Payload: []byte("x")}, io.Discard, nil)
+	if !st.quarantined || parseOne(t, res.resp).Type != FrameError {
+		t.Fatal("data before hello not rejected")
+	}
+
+	var st2 ingestState
+	res, _ = st2.handleFrame(Frame{Type: FrameEOF, Seq: 0}, io.Discard, nil)
+	if !st2.quarantined || parseOne(t, res.resp).Type != FrameError {
+		t.Fatal("eof before hello not rejected")
+	}
+}
+
+// TestIngestStateSequencing walks the offset machinery: in-order
+// accept, gap NAK, duplicate re-ack, overlap trimming, EOF mismatch.
+func TestIngestStateSequencing(t *testing.T) {
+	var st ingestState
+	var pipe bytes.Buffer
+	step := func(fr Frame) (frameResult, Frame) {
+		t.Helper()
+		res, err := st.handleFrame(fr, &pipe, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.resp) == 0 {
+			return res, Frame{}
+		}
+		return res, parseOne(t, res.resp)
+	}
+
+	_, ack := step(hello("rrc00", 0))
+	if ack.Type != FrameAck || ack.Seq != 0 {
+		t.Fatalf("hello ack: %+v", ack)
+	}
+
+	// In-order data.
+	_, ack = step(Frame{Type: FrameData, Seq: 0, Payload: []byte("abcd")})
+	if ack.Type != FrameAck || ack.Seq != 4 {
+		t.Fatalf("data ack: %+v", ack)
+	}
+
+	// Gap: NAK carrying the high-water mark.
+	_, nak := step(Frame{Type: FrameData, Seq: 100, Payload: []byte("zz")})
+	if nak.Type != FrameNak || nak.Seq != 4 {
+		t.Fatalf("gap nak: %+v", nak)
+	}
+
+	// Pure duplicate: re-ack, nothing written.
+	_, ack = step(Frame{Type: FrameData, Seq: 0, Payload: []byte("abcd")})
+	if ack.Type != FrameAck || ack.Seq != 4 {
+		t.Fatalf("duplicate re-ack: %+v", ack)
+	}
+
+	// Overlap: only the unseen tail reaches the pipe.
+	_, ack = step(Frame{Type: FrameData, Seq: 2, Payload: []byte("cdEF")})
+	if ack.Type != FrameAck || ack.Seq != 6 {
+		t.Fatalf("overlap ack: %+v", ack)
+	}
+	if pipe.String() != "abcdEF" {
+		t.Fatalf("pipe got %q, want abcdEF (overlapping head decoded twice?)", pipe.String())
+	}
+
+	// EOF at the wrong offset: NAK, session stays open.
+	res, nak := step(Frame{Type: FrameEOF, Seq: 99})
+	if nak.Type != FrameNak || nak.Seq != 6 || res.closed {
+		t.Fatalf("eof mismatch: res=%+v nak=%+v", res, nak)
+	}
+
+	// EOF at the mark: drained, closed, no immediate response (the
+	// glue sends respondDrained after the barrier).
+	res, _ = step(Frame{Type: FrameEOF, Seq: 6})
+	if !res.drained || !res.closed || len(res.resp) != 0 {
+		t.Fatalf("clean eof: %+v", res)
+	}
+	if d := parseOne(t, st.respondDrained(nil)); d.Type != FrameAck || d.Flags != FlagDrained || d.Seq != 6 {
+		t.Fatalf("drained ack: %+v", d)
+	}
+
+	// Data after EOF quarantines.
+	res, _ = step(Frame{Type: FrameData, Seq: 6, Payload: []byte("x")})
+	if !st.quarantined {
+		t.Fatal("data after eof accepted")
+	}
+	// Quarantine is sticky: further frames are ignored, session closed.
+	res, _ = step(Frame{Type: FrameData, Seq: 7, Payload: []byte("y")})
+	if !res.closed || len(res.resp) != 0 {
+		t.Fatalf("quarantined session still responding: %+v", res)
+	}
+}
+
+func TestIngestStateNakBudget(t *testing.T) {
+	var st ingestState
+	if _, err := st.handleFrame(hello("rrc00", 0), io.Discard, nil); err != nil {
+		t.Fatal(err)
+	}
+	var last frameResult
+	for i := 0; i <= maxNaks; i++ {
+		last, _ = st.handleFrame(Frame{Type: FrameData, Seq: 1 << 30, Payload: []byte("x")}, io.Discard, nil)
+	}
+	if !st.quarantined || !last.closed {
+		t.Fatalf("nak budget never tripped after %d gaps: %+v", maxNaks+1, st)
+	}
+	if fr := parseOne(t, last.resp); fr.Type != FrameError || !strings.Contains(string(fr.Payload), "nak budget") {
+		t.Fatalf("want budget error frame, got %q", fr.Payload)
+	}
+}
+
+func TestIngestStateResumeOffset(t *testing.T) {
+	var st ingestState
+	var pipe bytes.Buffer
+	res, err := st.handleFrame(hello("rrc00", 1000), &pipe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := parseOne(t, res.resp); ack.Type != FrameAck || ack.Seq != 1000 {
+		t.Fatalf("resume hello ack: %+v", ack)
+	}
+	// Bytes before the resume point are duplicates; at the point, accepted.
+	res, _ = st.handleFrame(Frame{Type: FrameData, Seq: 990, Payload: bytes.Repeat([]byte{1}, 10)}, &pipe, nil)
+	if ack := parseOne(t, res.resp); ack.Type != FrameAck || ack.Seq != 1000 {
+		t.Fatalf("pre-resume duplicate: %+v", ack)
+	}
+	res, _ = st.handleFrame(Frame{Type: FrameData, Seq: 1000, Payload: []byte("ab")}, &pipe, nil)
+	if ack := parseOne(t, res.resp); ack.Seq != 1002 {
+		t.Fatalf("resume accept: %+v", ack)
+	}
+	if pipe.String() != "ab" {
+		t.Fatalf("pipe got %q", pipe.String())
+	}
+}
+
+func TestIngestStateUnknownFrameType(t *testing.T) {
+	var st ingestState
+	res, err := st.handleFrame(Frame{Type: FrameReply, Seq: 7}, io.Discard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.quarantined || res.closed {
+		t.Fatal("foreign frame type should be an error reply, not a quarantine")
+	}
+	if fr := parseOne(t, res.resp); fr.Type != FrameError || fr.Seq != 7 {
+		t.Fatalf("want FrameError echoing seq 7, got %+v", fr)
+	}
+}
+
+func TestIngestStateOffsetOverflow(t *testing.T) {
+	var st ingestState
+	st.handleFrame(hello("rrc00", ^uint64(0)-1), io.Discard, nil)
+	res, _ := st.handleFrame(Frame{Type: FrameData, Seq: ^uint64(0) - 1, Payload: []byte("abcd")}, io.Discard, nil)
+	if !st.quarantined {
+		t.Fatal("offset overflow accepted")
+	}
+	if fr := parseOne(t, res.resp); fr.Type != FrameError {
+		t.Fatalf("want FrameError, got %d", fr.Type)
+	}
+}
+
+// TestWireGarbageQuarantinesSession desynchronizes a live ingest
+// connection past the scan budget: the server must answer one error
+// frame, close the connection, and record the quarantine.
+func TestWireGarbageQuarantinesSession(t *testing.T) {
+	w := harness.BuildWorld(harness.DefaultConfig(41))
+	srv := newTestServer(t, w.Ribs, 1)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	junk := bytes.Repeat([]byte{0x33}, maxFrameScan+4096)
+	if _, err := conn.Write(junk); err != nil {
+		t.Fatalf("garbage write: %v", err)
+	}
+	// The server answers with a final error frame then closes.
+	var fp FrameParser
+	rbuf := make([]byte, 4096)
+	for {
+		fr, ok, perr := fp.Next()
+		if perr != nil {
+			t.Fatalf("client parser: %v", perr)
+		}
+		if ok {
+			if fr.Type != FrameError {
+				t.Fatalf("want FrameError, got type %d", fr.Type)
+			}
+			break
+		}
+		n, rerr := conn.Read(rbuf)
+		if n > 0 {
+			fp.Feed(rbuf[:n])
+			continue
+		}
+		if rerr != nil {
+			t.Fatalf("connection closed before the error frame: %v", rerr)
+		}
+	}
+	found := false
+	for _, q := range srv.Quarantined() {
+		if strings.Contains(q, "frame desync") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("desync not in the quarantine ledger: %v", srv.Quarantined())
+	}
+}
+
+// TestEmptyStreamDrain opens a session, sends nothing, and drains: the
+// daemon must ack a zero-byte stream cleanly.
+func TestEmptyStreamDrain(t *testing.T) {
+	w := harness.BuildWorld(harness.DefaultConfig(42))
+	srv := newTestServer(t, w.Ribs, 1)
+	c, err := Dial(srv.Addr(), "rrc00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Drain(); err != nil {
+		t.Fatalf("empty drain: %v", err)
+	}
+	if c.Acked() != 0 || c.Sent() != 0 {
+		t.Fatalf("empty stream moved offsets: acked=%d sent=%d", c.Acked(), c.Sent())
+	}
+}

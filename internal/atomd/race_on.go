@@ -1,0 +1,7 @@
+//go:build race
+
+package atomd
+
+// raceEnabled mirrors the -race build flag: the zero-alloc query-path
+// pin only holds without race instrumentation (see alloc_test.go).
+const raceEnabled = true

@@ -1,0 +1,146 @@
+package atomd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// feedAll parses every complete frame currently buffered, failing the
+// test on parser error.
+func feedAll(t *testing.T, fp *FrameParser) []Frame {
+	t.Helper()
+	var out []Frame
+	for {
+		fr, ok, err := fp.Next()
+		if err != nil {
+			t.Fatalf("parser error: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		// Copy: the payload aliases the parse buffer.
+		fr.Payload = append([]byte(nil), fr.Payload...)
+		out = append(out, fr)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, FrameHello, 42, []byte("rrc00"))
+	buf = AppendFrameFlags(buf, FrameAck, FlagDrained, 99, nil)
+	buf = AppendFrame(buf, FrameData, 7, bytes.Repeat([]byte{0xAB}, 300))
+
+	var fp FrameParser
+	fp.Feed(buf)
+	frs := feedAll(t, &fp)
+	if len(frs) != 3 {
+		t.Fatalf("parsed %d frames, want 3", len(frs))
+	}
+	if frs[0].Type != FrameHello || frs[0].Seq != 42 || string(frs[0].Payload) != "rrc00" {
+		t.Fatalf("hello mangled: %+v", frs[0])
+	}
+	if frs[1].Type != FrameAck || frs[1].Flags != FlagDrained || frs[1].Seq != 99 || len(frs[1].Payload) != 0 {
+		t.Fatalf("flagged ack mangled: %+v", frs[1])
+	}
+	if frs[2].Type != FrameData || frs[2].Seq != 7 || len(frs[2].Payload) != 300 {
+		t.Fatalf("data mangled: type=%d seq=%d len=%d", frs[2].Type, frs[2].Seq, len(frs[2].Payload))
+	}
+	if fp.Skipped() != 0 {
+		t.Fatalf("clean stream skipped %d bytes", fp.Skipped())
+	}
+}
+
+// TestFrameParserSplitFeeds delivers an encoded stream one byte at a
+// time: every frame must still come out intact, with no byte counted
+// as garbage.
+func TestFrameParserSplitFeeds(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		buf = AppendFrame(buf, FrameData, uint64(i*100), bytes.Repeat([]byte{byte(i)}, i*17))
+	}
+	var fp FrameParser
+	var got []Frame
+	for i := range buf {
+		fp.Feed(buf[i : i+1])
+		got = append(got, feedAll(t, &fp)...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("parsed %d frames, want 10", len(got))
+	}
+	for i, fr := range got {
+		if fr.Seq != uint64(i*100) || len(fr.Payload) != i*17 {
+			t.Fatalf("frame %d mangled under byte-at-a-time feed: seq=%d len=%d", i, fr.Seq, len(fr.Payload))
+		}
+	}
+	if fp.Skipped() != 0 {
+		t.Fatalf("split feed skipped %d bytes", fp.Skipped())
+	}
+}
+
+// TestFrameParserGarbageResync interleaves garbage between valid
+// frames — including bytes that contain the magic followed by an
+// implausible header — and checks the parser scans past it all.
+func TestFrameParserGarbageResync(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0x00, 0xFF, magic0) // trailing half-magic then more garbage
+	buf = append(buf, 0x01, 0x02, 0x03)
+	buf = AppendFrame(buf, FrameAck, 1, nil)
+	// A fake magic with type 0 (implausible): must be skipped, not parsed.
+	buf = append(buf, magic0, magic1, 0x00, 0x00)
+	// A fake magic claiming an absurd payload length.
+	buf = append(buf, magic0, magic1, FrameData, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF)
+	buf = AppendFrame(buf, FrameAck, 2, []byte("x"))
+
+	var fp FrameParser
+	fp.Feed(buf)
+	frs := feedAll(t, &fp)
+	if len(frs) != 2 || frs[0].Seq != 1 || frs[1].Seq != 2 {
+		t.Fatalf("resync failed: got %+v", frs)
+	}
+	if fp.Skipped() == 0 {
+		t.Fatal("garbage stream reported zero skipped bytes")
+	}
+}
+
+// TestFrameParserDesyncBudget feeds pure garbage past the scan budget:
+// the parser must return sticky ErrDesync, never spin or panic.
+func TestFrameParserDesyncBudget(t *testing.T) {
+	var fp FrameParser
+	junk := bytes.Repeat([]byte{0x55}, 64<<10)
+	var lastErr error
+	for i := 0; i < 32 && lastErr == nil; i++ {
+		fp.Feed(junk)
+		_, ok, err := fp.Next()
+		if ok {
+			t.Fatal("parsed a frame out of pure garbage")
+		}
+		lastErr = err
+	}
+	if !errors.Is(lastErr, ErrDesync) {
+		t.Fatalf("scan budget never tripped: err=%v", lastErr)
+	}
+	// Sticky: every subsequent call keeps failing.
+	if _, _, err := fp.Next(); !errors.Is(err, ErrDesync) {
+		t.Fatalf("desync not sticky: %v", err)
+	}
+}
+
+// TestFrameParserTruncatedFrame holds back the final payload byte:
+// Next must report "need more", then complete once the byte arrives.
+func TestFrameParserTruncatedFrame(t *testing.T) {
+	full := AppendFrame(nil, FrameData, 5, []byte("hello world"))
+	var fp FrameParser
+	fp.Feed(full[:len(full)-1])
+	if _, ok, err := fp.Next(); ok || err != nil {
+		t.Fatalf("truncated frame parsed early: ok=%v err=%v", ok, err)
+	}
+	fp.Feed(full[len(full)-1:])
+	fr, ok, err := fp.Next()
+	if !ok || err != nil {
+		t.Fatalf("completed frame did not parse: ok=%v err=%v", ok, err)
+	}
+	if string(fr.Payload) != "hello world" {
+		t.Fatalf("payload mangled: %q", fr.Payload)
+	}
+}

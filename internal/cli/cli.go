@@ -12,11 +12,14 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bgp"
@@ -103,6 +106,10 @@ type Obs struct {
 	// Progress is non-nil between Start and Finish when -progress is
 	// given; pass it down via longitudinal.Config.Progress.
 	Progress *obs.Progress
+	// ExtraMux, when set before Start, registers additional handlers on
+	// the debug server's mux (atomd mounts /atoms here). Only consulted
+	// when -listen is given.
+	ExtraMux func(*http.ServeMux)
 
 	cpuFile *os.File
 	sampler *obs.Sampler
@@ -139,7 +146,12 @@ func (o *Obs) Enabled() bool {
 func (o *Obs) Start() {
 	if o.Enabled() {
 		o.Root = obs.Root(o.Tool)
-		o.Registry = obs.NewRegistry()
+		// A command may pre-seed Registry before Start so a long-lived
+		// service (atomd) can register its metrics on the same registry
+		// the debug server will scrape.
+		if o.Registry == nil {
+			o.Registry = obs.NewRegistry()
+		}
 	}
 	if o.CPUProfile != "" {
 		f, err := os.Create(o.CPUProfile)
@@ -156,7 +168,7 @@ func (o *Obs) Start() {
 	}
 	o.sampler = obs.StartSampler(o.Registry, o.Sample)
 	if o.Listen != "" {
-		srv, err := obs.ServeDebug(o.Listen, o.Tool, os.Args[1:], o.Root, o.Registry)
+		srv, err := obs.ServeDebugWith(o.Listen, o.Tool, os.Args[1:], o.Root, o.Registry, o.ExtraMux)
 		if err != nil {
 			Fatal(o.Tool, err)
 		}
@@ -227,4 +239,27 @@ func (o *Obs) Finish() {
 	o.Progress = nil
 	o.server.Close()
 	o.server = nil
+}
+
+// OnSignal runs fn once when the process receives SIGINT or SIGTERM —
+// the graceful-shutdown hook for long-running commands (atomd drains
+// its ingest sessions from it). The returned stop function unregisters
+// the handler and joins the watcher goroutine; call it before exit so
+// no goroutine outlives the command's main (the lifecycle analyzer
+// holds cli to that).
+func OnSignal(fn func()) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := <-ch; ok {
+			fn()
+		}
+	}()
+	return func() {
+		signal.Stop(ch) // no sends after Stop returns, so close is safe
+		close(ch)
+		<-done
+	}
 }

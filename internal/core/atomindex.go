@@ -296,6 +296,50 @@ func (ix *AtomIndex) newAtom() int32 {
 	return int32(len(ix.atoms) - 1)
 }
 
+// Partition is a point-in-time copy of an index's atom partition with
+// canonical atom numbering — first occurrence in prefix order, the
+// batch ComputeAtoms numbering, so partitions taken from different
+// update histories over the same matrix are byte-identical. It shares
+// no storage with the index: the atomd epoch seam publishes one behind
+// an atomic pointer and lets concurrent readers index it while the
+// index keeps mutating.
+type Partition struct {
+	// ByPrefix maps prefix row → canonical atom ID.
+	ByPrefix []int32
+	// Counts maps canonical atom ID → member count.
+	Counts []int32
+}
+
+// Partition snapshots the current partition under canonical numbering
+// without materializing vectors or member lists — O(prefixes), the
+// cheap core of Materialize. remap is optional scratch carried between
+// calls (grown as needed); the second return value hands it back.
+func (ix *AtomIndex) Partition(remap []int32) (*Partition, []int32) {
+	if cap(remap) < len(ix.atoms) {
+		remap = make([]int32, len(ix.atoms))
+	}
+	remap = remap[:len(ix.atoms)]
+	for i := range remap {
+		remap[i] = -1
+	}
+	n := len(ix.snap.Prefixes)
+	part := &Partition{
+		ByPrefix: make([]int32, n),
+		Counts:   make([]int32, 0, ix.live),
+	}
+	for p := 0; p < n; p++ {
+		a := ix.byPrefix[p]
+		c := remap[a]
+		if c < 0 {
+			c = int32(len(part.Counts))
+			remap[a] = c
+			part.Counts = append(part.Counts, ix.atoms[a].count)
+		}
+		part.ByPrefix[p] = c
+	}
+	return part, remap
+}
+
 // Materialize builds the AtomSet for the current matrix from the
 // maintained partition — no rehashing, no regrouping. Atom IDs are
 // renumbered by first occurrence in prefix order, exactly the batch

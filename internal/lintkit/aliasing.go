@@ -30,7 +30,7 @@ import (
 // fixture package aliasfix). Packages outside the list may still
 // *define* producers via requiredBorrowed, but their function bodies
 // are not swept.
-var aliasingPkgs = []string{"mrt", "bgp", "bgpstream", "sanitize", "core", "replay", "aspath", "aliasfix"}
+var aliasingPkgs = []string{"mrt", "bgp", "bgpstream", "sanitize", "core", "replay", "aspath", "atomd", "aliasfix"}
 
 // requiredBorrowed pins, per package (matched by import-path suffix
 // under "internal"), the zero-copy producers whose borrowed contract is
@@ -51,6 +51,7 @@ var requiredBorrowed = []struct {
 	{"bgpstream", []string{"recordReader.Next", "(*Stream).NextBatch"}},
 	{"aspath", []string{"(*Table).Seq"}},
 	{"core", []string{"(*Snapshot).Row", "(*Snapshot).Route"}},
+	{"atomd", []string{"(*FrameParser).Next"}},
 }
 
 func requiredBorrowedHas(pkgPath, display string) bool {

@@ -38,6 +38,7 @@ var requiredHotpaths = []struct {
 	{"bgpstream", []string{"(*Stream).fill", "(*Stream).NextBatch"}},
 	{"aspath", []string{"(*Table).Intern", "(*Table).Lookup"}},
 	{"core", []string{"(*AtomIndex).ApplyUpdate", "(*AtomIndex).rowHash", "(*AtomIndex).rebucket"}},
+	{"atomd", []string{"(*Server).SameAtom", "(*Server).MemberCount", "(*Server).PrefixAtom"}},
 }
 
 func runHotpath(pass *Pass) {

@@ -35,6 +35,16 @@ type DebugServer struct {
 // /healthz and /runreport; root and reg may be nil (endpoints then
 // serve empty-but-valid documents).
 func ServeDebug(addr, tool string, args []string, root *Span, reg *Registry) (*DebugServer, error) {
+	return ServeDebugWith(addr, tool, args, root, reg, nil)
+}
+
+// ServeDebugWith is ServeDebug with a mux-registration hook: when extra
+// is non-nil it runs against the mux before the server starts
+// accepting, so an embedding service (atomd's /atoms endpoints) can
+// mount its own handlers beside the standard surface. Hooked paths must
+// not collide with the built-ins; later registrations panic, exactly as
+// http.ServeMux always does.
+func ServeDebugWith(addr, tool string, args []string, root *Span, reg *Registry, extra func(*http.ServeMux)) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -72,6 +82,10 @@ func ServeDebug(addr, tool string, args []string, root *Span, reg *Registry) (*D
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "%s live observability\n\n/metrics\n/healthz\n/runreport\n/debug/pprof/\n", tool)
 	})
+
+	if extra != nil {
+		extra(mux)
+	}
 
 	d.srv = &http.Server{Handler: mux}
 	d.done = make(chan struct{})

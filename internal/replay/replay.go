@@ -16,13 +16,10 @@ package replay
 
 import (
 	"io"
-	"net/netip"
 
-	"repro/internal/aspath"
 	"repro/internal/bgpstream"
 	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/prefixset"
 )
 
 // Options configures a replay run. The zero value replays everything
@@ -75,17 +72,7 @@ func Run(ix *core.AtomIndex, sources []bgpstream.Source, opts Options) (Stats, e
 	sp := opts.Span.Child("replay")
 	defer sp.End()
 
-	// The matrix coordinate maps. Prefixes are keyed canonically, as the
-	// sanitize pipeline stores them.
-	prefixRow := make(map[netip.Prefix]int, len(snap.Prefixes))
-	for i, p := range snap.Prefixes {
-		prefixRow[prefixset.Canonical(p)] = i
-	}
-	vpCol := make(map[core.VP]int, len(snap.VPs))
-	for i, vp := range snap.VPs {
-		vpCol[vp] = i
-	}
-
+	mapper := NewMapper(snap)
 	st := bgpstream.NewStream(opts.Filter, sources...)
 	st.SetWorkers(opts.Workers)
 	st.SetIntern(snap.Paths)
@@ -118,30 +105,21 @@ func Run(ix *core.AtomIndex, sources []bgpstream.Source, opts Options) (Stats, e
 			e := &batch[i]
 			stats.Elems++
 			elemsC.Inc()
-			var id aspath.ID
-			switch e.Type {
-			case bgpstream.ElemAnnounce, bgpstream.ElemRIB:
-				if e.PathUnusable {
-					stats.SkippedUnusable++
-					skipPathC.Inc()
-					continue
-				}
-				id = e.InternedPath
-			case bgpstream.ElemWithdraw:
-				id = aspath.Empty
-			default:
+			p, v, id, reason := mapper.Map(e)
+			switch reason {
+			case SkipUnusable:
+				stats.SkippedUnusable++
+				skipPathC.Inc()
+				continue
+			case SkipType:
 				stats.SkippedType++
 				skipTypeC.Inc()
 				continue
-			}
-			p, ok := prefixRow[prefixset.Canonical(e.Prefix)]
-			if !ok {
+			case SkipPrefix:
 				stats.SkippedPrefix++
 				skipPfxC.Inc()
 				continue
-			}
-			v, ok := vpCol[core.VP{Collector: e.Collector, ASN: e.PeerASN}]
-			if !ok {
+			case SkipVP:
 				stats.SkippedVP++
 				skipVPC.Inc()
 				continue

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the PR's key benchmarks with -benchmem and distill
-# them into BENCH_pr8.json: one entry per benchmark (ns/op, B/op,
+# them into BENCH_pr10.json: one entry per benchmark (ns/op, B/op,
 # allocs/op, the GOMAXPROCS it ran under), a run_trend_speedup block
 # with the per-worker speedup of the parallel longitudinal sweep
 # against its sequential baseline, a decode_throughput block (MB/s and
@@ -8,7 +8,9 @@
 # floor), a churn_replay block (sustained updates/s through the
 # incremental AtomIndex, the nearest-rank p99 of one ApplyUpdate
 # re-bucket, and that p99's speedup against full batch recomputation —
-# this run's and the previous PR's), and a vs_prev block with the RunTrend workers=1 time and
+# this run's and the previous PR's), a daemon block (atomd point-query
+# latency on the published view, which must stay allocation-free, and
+# end-to-end TCP ingest throughput), and a vs_prev block with the RunTrend workers=1 time and
 # allocation ratios against the previous PR's BENCH file. The RunTrend
 # matrix runs twice: at the host's native GOMAXPROCS and again pinned
 # to 8 via `go test -cpu 8` (entries carry a "-8" name suffix and
@@ -20,17 +22,17 @@
 # numbers uninterpretable.
 #
 # Usage:
-#   scripts/bench.sh            run benchmarks, write BENCH_pr8.json,
+#   scripts/bench.sh            run benchmarks, write BENCH_pr10.json,
 #                               and (if a previous BENCH_*.json exists)
 #                               print per-benchmark deltas against it
-#   scripts/bench.sh compare    just diff BENCH_pr8.json against the
+#   scripts/bench.sh compare    just diff BENCH_pr10.json against the
 #                               previous BENCH_*.json
 # Run via `make bench` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr8.json
+OUT=BENCH_pr10.json
 
 # prev_bench prints the newest BENCH_*.json that is not $OUT.
 prev_bench() {
@@ -74,6 +76,10 @@ go test -run xxx -bench 'BenchmarkChurnReplay$' \
 echo "== core benchmarks (sharded grouping, origin kernel, delta kernel)"
 go test -run xxx -bench 'BenchmarkComputeAtomsWorkers|BenchmarkVectorOrigin|BenchmarkApplyUpdate$' \
     -benchmem ./internal/core/ | tee -a "$RAW"
+
+echo "== daemon benchmarks (atomd query hot path + TCP ingest throughput)"
+go test -run xxx -bench 'BenchmarkAtomd' \
+    -benchmem ./internal/atomd/ | tee -a "$RAW"
 
 echo "== decode benchmarks (zero-copy reader, per-source fan-out)"
 go test -run xxx -bench 'BenchmarkBytesReader$|BenchmarkReader$' \
@@ -134,7 +140,7 @@ function basekey(name,  suffix) {
     return "BenchmarkRunTrendParallel/workers=1" suffix
 }
 END {
-    printf "{\n  \"bench\": \"pr8 incremental atom maintenance: O(row) delta re-bucketing\",\n"
+    printf "{\n  \"bench\": \"pr10 atomd: streaming atom daemon serving point queries under live ingest\",\n"
     printf "  \"cores\": %d,\n", numcpu
     printf "  \"gomaxprocs\": %d,\n", maxprocs
     printf "  \"results\": [\n"
@@ -199,6 +205,29 @@ END {
             printf ",\n    \"full_recompute_ns\": %s,\n    \"p99_speedup_vs_full\": %.1f", ns[ac], ns[ac] / p99[cr]
         if (prevac > 0 && p99[cr] > 0)
             printf ",\n    \"prev_full_recompute_ns\": %s,\n    \"p99_speedup_vs_prev_full\": %.1f", prevac, prevac / p99[cr]
+        printf "\n  }"
+    }
+    dq = 0; ding = ""
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name ~ /^BenchmarkAtomdQuery\//)
+            dqa[dq++] = sprintf("{\"name\": \"%s\", \"cores\": %d, \"ns_op\": %s, \"allocs_op\": %s}", \
+                name, core[name], ns[name], allocs[name])
+        if (name ~ /^BenchmarkAtomdIngest(-[0-9]+)?$/) ding = name
+    }
+    if (dq > 0 || ding != "") {
+        printf ",\n  \"daemon\": {\n"
+        if (dq > 0) {
+            printf "    \"query\": [\n"
+            for (i = 0; i < dq; i++)
+                printf "      %s%s\n", dqa[i], (i < dq-1 ? "," : "")
+            printf "    ]"
+        }
+        if (ding != "") {
+            if (dq > 0) printf ",\n"
+            printf "    \"ingest\": {\"updates_s\": %s, \"ns_op\": %s, \"allocs_op\": %s}", \
+                ups[ding], ns[ding], allocs[ding]
+        }
         printf "\n  }"
     }
     base = "BenchmarkRunTrendParallel/workers=1"

@@ -4,9 +4,10 @@
 // faultgen-damaged archives, so the fuzzers start from inputs shaped
 // like real collector damage instead of random bytes:
 //
-//	internal/mrt/testdata/fuzz/FuzzReadRecord    — whole damaged archives
-//	internal/mrt/testdata/fuzz/FuzzParseMessage  — BGP4MP bodies framed out of them
-//	internal/bgp/testdata/fuzz/FuzzParseUpdate   — bit-flipped UPDATE messages
+//	internal/mrt/testdata/fuzz/FuzzReadRecord     — whole damaged archives
+//	internal/mrt/testdata/fuzz/FuzzParseMessage   — BGP4MP bodies framed out of them
+//	internal/bgp/testdata/fuzz/FuzzParseUpdate    — bit-flipped UPDATE messages
+//	internal/atomd/testdata/fuzz/FuzzIngestFrame  — ingest sessions framing those archives
 //
 // Run from the repo root:
 //
@@ -24,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomd"
 	"repro/internal/bgp"
 	"repro/internal/faultgen"
 	"repro/internal/mrt"
@@ -171,14 +173,35 @@ func flip(data []byte, steps int) []byte {
 	return out
 }
 
+// frameSession wraps payload bytes as one complete atomd ingest
+// session — hello, MTU-sized data frames, EOF — the honest wire shape
+// FuzzIngestFrame mutates from.
+func frameSession(collector string, payload []byte) []byte {
+	var out []byte
+	out = atomd.AppendFrame(out, atomd.FrameHello, 0, []byte(collector))
+	off := uint64(0)
+	for len(payload) > 0 {
+		n := len(payload)
+		if n > 1500 {
+			n = 1500
+		}
+		out = atomd.AppendFrame(out, atomd.FrameData, off, payload[:n])
+		off += uint64(n)
+		payload = payload[n:]
+	}
+	return atomd.AppendFrame(out, atomd.FrameEOF, off, nil)
+}
+
 func main() {
 	readDir := filepath.Join("internal", "mrt", "testdata", "fuzz", "FuzzReadRecord")
 	msgDir := filepath.Join("internal", "mrt", "testdata", "fuzz", "FuzzParseMessage")
 	updDir := filepath.Join("internal", "bgp", "testdata", "fuzz", "FuzzParseUpdate")
+	ingestDir := filepath.Join("internal", "atomd", "testdata", "fuzz", "FuzzIngestFrame")
 
 	clean := cleanArchive()
 	archives := map[string][]byte{"seed": clean}
 	writeEntry(readDir, "seed-clean", clean)
+	writeEntry(ingestDir, "seed-clean", frameSession("rrc00", clean), uint16(33))
 
 	// One damaged archive per fault class: the archive itself seeds
 	// FuzzReadRecord; the message records framed out of it (including
@@ -199,6 +222,12 @@ func main() {
 			}
 			writeEntry(msgDir, fmt.Sprintf("seed-%s-%d", class, i), sb[0], sb[1])
 		}
+		// Record-level damage riding inside honest frames, and the same
+		// session with frame-level bit flips on top — both split
+		// mid-stream by the fuzzer's second Feed.
+		framed := frameSession("rrc00", damaged["seed"])
+		writeEntry(ingestDir, "seed-"+class.String(), framed, uint16(len(framed)/2))
+		writeEntry(ingestDir, "seed-"+class.String()+"-flip", flip(framed, 4), uint16(97))
 	}
 
 	// UPDATE corpus: canonical messages plus bit-flipped variants under
@@ -233,5 +262,5 @@ func main() {
 			}
 		}
 	}
-	fmt.Println("fuzz corpora regenerated under internal/{mrt,bgp}/testdata/fuzz/")
+	fmt.Println("fuzz corpora regenerated under internal/{mrt,bgp,atomd}/testdata/fuzz/")
 }

@@ -5,12 +5,15 @@
 # collector and routing fan work out to the pool), the fault-injection
 # harness under -race, the incremental atom-maintenance differential
 # (replay vs batch recompute, incl. faultgen-damaged churn) under -race
-# plus a churn-bench smoke, a live-observability smoke (start atomrepro with
-# -listen, scrape /metrics and /healthz mid-run, lint the exposition),
-# coverage floors on the packages the fault model hardens plus the
-# observability layer, and short fuzz smokes of the wire codecs. Run via
-# `make verify` or directly. Coverage profiles land in coverage/ (the
-# CI artifact).
+# plus a churn-bench smoke, the atomd daemon-vs-batch differential and
+# shutdown-lifecycle tests under -race, a live-observability smoke
+# (start atomrepro with -listen, scrape /metrics and /healthz mid-run,
+# lint the exposition), a live-daemon smoke (boot cmd/atomd, TCP
+# ingest, HTTP + binary queries, SIGTERM drain), coverage floors on the
+# packages the fault model hardens plus the observability layer and the
+# daemon, and short fuzz smokes of the wire codecs and the ingest frame
+# protocol. Run via `make verify` or directly. Coverage profiles land
+# in coverage/ (the CI artifact).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -82,8 +85,14 @@ echo "== go test -race (incremental atom maintenance: delta differential, incl. 
 go test -race -count=1 ./internal/replay/
 go test -race -count=1 -run 'TestRunChurnReplayDifferential' ./internal/longitudinal/
 
+echo "== go test -race (atomd: daemon-vs-batch differential, shutdown lifecycle, concurrent queries)"
+go test -race -count=1 -run 'TestDaemon|TestShutdown|TestRestart|TestConcurrent' ./internal/atomd/
+
 echo "== live observability smoke (atomrepro -listen: scrape /metrics, /healthz, /runreport; promlint)"
 go run scripts/obssmoke.go
+
+echo "== live daemon smoke (cmd/atomd: TCP ingest, HTTP + binary queries, SIGTERM drain)"
+go run scripts/atomdsmoke.go
 
 echo "== coverage floors (profiles in coverage/)"
 mkdir -p coverage
@@ -92,11 +101,13 @@ check_coverage internal/sanitize 84
 check_coverage internal/mrt 90
 check_coverage internal/obs 85
 check_coverage internal/lintkit 85
+check_coverage internal/atomd 85
 
 echo "== fuzz smoke (5s per wire codec + reader resync loop)"
 go test -fuzz FuzzParseMessage -fuzztime 5s -run '^$' ./internal/mrt/
 go test -fuzz FuzzReadRecord -fuzztime 5s -run '^$' ./internal/mrt/
 go test -fuzz FuzzParseUpdate -fuzztime 5s -run '^$' ./internal/bgp/
+go test -fuzz FuzzIngestFrame -fuzztime 5s -run '^$' ./internal/atomd/
 
 echo "== bench smoke (-benchtime=1x: bench code must compile and run)"
 go test -run xxx -bench . -benchtime 1x -benchmem . ./internal/core/ ./internal/aspath/
@@ -108,5 +119,8 @@ go test -run xxx -bench 'BenchmarkStreamDecode' -benchtime 1x -benchmem ./intern
 echo "== churn bench smoke (delta kernel: p99 + updates/s metrics must report)"
 go test -run xxx -bench 'BenchmarkChurnReplay$' -benchtime 100x -benchmem .
 go test -run xxx -bench 'BenchmarkApplyUpdate$' -benchtime 100x -benchmem ./internal/core/
+
+echo "== daemon bench smoke (query hot path + TCP ingest throughput)"
+go test -run xxx -bench 'BenchmarkAtomd' -benchtime 1x -benchmem ./internal/atomd/
 
 echo "verify: OK"
